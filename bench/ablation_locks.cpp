@@ -1,0 +1,42 @@
+// Ablation A3: advisory-lock machinery (§5.1). Sweeps the size of the
+// pre-allocated lock table (hash collisions vs footprint) and the acquire
+// timeout (§2: a waiter "could simply time out and proceed").
+#include "bench_common.hpp"
+
+using namespace st;
+using namespace st::bench;
+
+int main() {
+  print_header("Ablation A3: advisory-lock table size and acquire timeout");
+  const unsigned threads = env_threads();
+
+  for (const char* wl : {"list-hi", "kmeans"}) {
+    std::printf("\n--- %s (%u threads), Staggered normalized to HTM ---\n",
+                wl, threads);
+    const auto base = workloads::run_workload(
+        wl, base_options(runtime::Scheme::kBaseline, threads));
+    auto rel = [&](const workloads::RunOptions& o) {
+      return workloads::run_workload(wl, o).throughput() / base.throughput();
+    };
+
+    std::printf("lock-table size sweep (timeout=2000):\n");
+    for (unsigned n : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+      auto o = base_options(runtime::Scheme::kStaggered, threads);
+      o.num_advisory_locks = n;
+      std::printf("  locks=%-5u: %.3f%s\n", n, rel(o),
+                  n == 1 ? "  (single global advisory lock)" : "");
+      std::fflush(stdout);
+    }
+
+    std::printf("acquire-timeout sweep (256 locks):\n");
+    for (sim::Cycle t : {250u, 500u, 1000u, 2000u, 8000u, 1000000u}) {
+      auto o = base_options(runtime::Scheme::kStaggered, threads);
+      o.lock_timeout = t;
+      std::printf("  timeout=%-8llu: %.3f%s\n",
+                  static_cast<unsigned long long>(t), rel(o),
+                  t == 1000000u ? "  (effectively wait-forever)" : "");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation A2: conflicting-PC tag width (§4: "one can in fact get by with
+// just a subset of the PC (e.g., the 12 low-order bits). This suffices to
+// keep the space overhead under 2.4%"). Sweeps the tag width and reports
+// anchor-identification accuracy plus end performance.
+#include "bench_common.hpp"
+
+using namespace st;
+using namespace st::bench;
+
+int main() {
+  print_header("Ablation A2: hardware PC-tag width vs anchor accuracy");
+  const unsigned threads = env_threads();
+
+  for (const char* wl : {"list-hi", "memcached", "genome"}) {
+    std::printf("\n--- %s (%u threads) ---\n", wl, threads);
+    const auto base = workloads::run_workload(
+        wl, base_options(runtime::Scheme::kBaseline, threads));
+    std::printf("%6s | %9s | %9s | l1-overhead\n", "bits", "accuracy",
+                "perf/HTM");
+    for (unsigned bits : {4u, 6u, 8u, 10u, 12u, 16u}) {
+      auto o = base_options(runtime::Scheme::kStaggered, threads);
+      o.pc_tag_bits = bits;
+      const auto r = workloads::run_workload(wl, o);
+      // Space overhead: `bits` extra bits per 64-byte (512-bit) L1 line,
+      // on top of the 2 transactional bits.
+      const double overhead = 100.0 * bits / 512.0;
+      std::printf("%6u | %8.1f%% | %9.3f | %.2f%%%s\n", bits,
+                  100.0 * r.anchor_accuracy(),
+                  r.throughput() / base.throughput(), overhead,
+                  bits == 12 ? "   <- paper configuration (<2.4%)" : "");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

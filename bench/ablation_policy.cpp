@@ -1,0 +1,58 @@
+// Ablation A1: locking-policy parameters (the paper notes "more complex
+// possibilities are a subject of future work" — this bench maps the
+// neighbourhood of its simple policy). Sweeps PC_THR/ADDR_THR, the
+// promotion threshold, and the abort-history length on one high-contention
+// and one medium-contention benchmark.
+#include "bench_common.hpp"
+
+using namespace st;
+using namespace st::bench;
+
+namespace {
+
+void sweep(const char* wl, unsigned threads) {
+  std::printf("\n--- %s (%u threads), Staggered, normalized to baseline "
+              "HTM ---\n", wl, threads);
+  const auto base =
+      workloads::run_workload(wl, base_options(runtime::Scheme::kBaseline,
+                                               threads));
+  auto rel = [&](const workloads::RunOptions& o) {
+    const auto r = workloads::run_workload(wl, o);
+    return r.throughput() / base.throughput();
+  };
+
+  std::printf("PC_THR/ADDR_THR sweep (history=8, PROM_THR=4):\n");
+  for (unsigned thr : {1u, 2u, 3u, 4u, 6u}) {
+    auto o = base_options(runtime::Scheme::kStaggered, threads);
+    o.policy.pc_thr = thr;
+    o.policy.addr_thr = thr;
+    std::printf("  thr=%u: %.3f\n", thr, rel(o));
+    std::fflush(stdout);
+  }
+
+  std::printf("PROM_THR sweep (promotion after N coarse aborts):\n");
+  for (unsigned prom : {1u, 2u, 4u, 8u, 1000000u}) {
+    auto o = base_options(runtime::Scheme::kStaggered, threads);
+    o.policy.prom_thr = prom;
+    std::printf("  prom=%-7u: %.3f%s\n", prom, rel(o),
+                prom == 1000000u ? "  (promotion disabled)" : "");
+    std::fflush(stdout);
+  }
+
+  std::printf("abort-history length sweep (paper uses 8):\n");
+  for (unsigned h : {4u, 8u, 16u, 32u}) {
+    auto o = base_options(runtime::Scheme::kStaggered, threads);
+    o.history_len = h;
+    std::printf("  history=%-2u: %.3f\n", h, rel(o));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A1: locking-policy parameters");
+  sweep("list-hi", env_threads());
+  sweep("genome", env_threads());
+  return 0;
+}

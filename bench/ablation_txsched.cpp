@@ -1,0 +1,40 @@
+// Ablation A7: whole-transaction scheduling vs staggering (§7 related
+// work). Proactive Transaction Scheduling serializes *entire* transactions
+// once contention is predicted; the paper argues staggering wins "by
+// serializing only the conflicting portions of transactions" (more
+// parallelism) and by skipping scheduling decisions on short transactions.
+#include "bench_common.hpp"
+
+using namespace st;
+using namespace st::bench;
+
+int main() {
+  print_header("Ablation A7: proactive whole-txn scheduling vs staggering");
+  const unsigned threads = env_threads();
+
+  std::printf("%-10s | %9s %9s %9s | %8s %8s\n", "benchmark", "TxSched",
+              "Staggered", "edge", "A/C-TS", "A/C-St");
+  std::printf(
+      "-----------+-------------------------------+------------------\n");
+
+  for (const char* name :
+       {"list-hi", "list-lo", "kmeans", "memcached", "intruder", "ssca2"}) {
+    const auto base = workloads::run_workload(
+        name, base_options(runtime::Scheme::kBaseline, threads));
+    const auto sched = workloads::run_workload(
+        name, base_options(runtime::Scheme::kTxSched, threads));
+    const auto stag = workloads::run_workload(
+        name, base_options(runtime::Scheme::kStaggered, threads));
+    const double rs = sched.throughput() / base.throughput();
+    const double rt = stag.throughput() / base.throughput();
+    std::printf("%-10s | %9.3f %9.3f %8.2fx | %8.2f %8.2f\n", name, rs, rt,
+                rt / rs, sched.aborts_per_commit(), stag.aborts_per_commit());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nBoth schemes are driven by the same abort-frequency predictor;\n"
+      "TxSched locks before xbegin (no overlap at all), Staggered locks at\n"
+      "the learned ALP (prefix stays speculative). 'edge' > 1 means partial\n"
+      "overlap beats whole-transaction serialization, the paper's §7 claim.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every binary prints (a) the simulated-machine configuration (paper
+// Table 2), (b) its own measured rows, and (c) the paper's reported values
+// for side-by-side comparison. Environment knobs:
+//   STAGTM_SCALE   — ops multiplier (default 0.25; 1.0 = full length)
+//   STAGTM_THREADS — worker count (default 16, as in the paper)
+//   STAGTM_SEED    — RNG seed (default 1)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/harness.hpp"
+
+namespace st::bench {
+
+inline double env_scale() {
+  const char* s = std::getenv("STAGTM_SCALE");
+  return s ? std::atof(s) : 0.25;
+}
+
+inline unsigned env_threads() {
+  const char* s = std::getenv("STAGTM_THREADS");
+  return s ? static_cast<unsigned>(std::atoi(s)) : 16;
+}
+
+inline std::uint64_t env_seed() {
+  const char* s = std::getenv("STAGTM_SEED");
+  return s ? static_cast<std::uint64_t>(std::atoll(s)) : 1;
+}
+
+inline workloads::RunOptions base_options(runtime::Scheme scheme,
+                                          unsigned threads) {
+  workloads::RunOptions o;
+  o.scheme = scheme;
+  o.threads = threads;
+  o.seed = env_seed();
+  o.ops_scale = env_scale();
+  return o;
+}
+
+inline void print_machine_config() {
+  std::printf(
+      "simulated machine (paper Table 2): 16-core 2.5GHz | L1 64K/8way/"
+      "2cyc + 2 tx bits + 12-bit PC tag | L2 1M/10cyc | L3 8M/30cyc | "
+      "mem 125cyc | MOESI | eager requester-wins HTM\n");
+}
+
+inline void print_header(const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  print_machine_config();
+  std::printf("threads=%u scale=%.2f seed=%llu\n", env_threads(), env_scale(),
+              static_cast<unsigned long long>(env_seed()));
+  std::printf("==============================================================\n");
+}
+
+/// speedup of `r` relative to a single-thread run `base1` (throughput
+/// ratio; matches the paper's "speedup over sequential run").
+inline double speedup(const workloads::RunResult& base1,
+                      const workloads::RunResult& r) {
+  return base1.throughput() == 0 ? 0.0
+                                 : r.throughput() / base1.throughput();
+}
+
+}  // namespace st::bench

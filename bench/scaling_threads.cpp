@@ -1,0 +1,34 @@
+// Thread-scaling curves (Table 1's narrative: "list-hi stops scaling after
+// 4 threads"). Sweeps core counts per scheme and prints the speedup over
+// the 1-thread baseline run.
+#include "bench_common.hpp"
+
+using namespace st;
+using namespace st::bench;
+
+int main() {
+  print_header("Thread scaling: speedup over sequential, per scheme");
+
+  const unsigned counts[] = {1, 2, 4, 8, 16};
+  for (const char* name : {"list-hi", "list-lo", "kmeans", "memcached",
+                           "ssca2"}) {
+    std::printf("\n--- %s ---\n", name);
+    const auto seq = workloads::run_workload(
+        name, base_options(runtime::Scheme::kBaseline, 1));
+    std::printf("%9s", "threads:");
+    for (unsigned t : counts) std::printf(" %6u", t);
+    std::printf("\n");
+    for (const auto scheme :
+         {runtime::Scheme::kBaseline, runtime::Scheme::kStaggered}) {
+      std::printf("%9s", runtime::scheme_name(scheme));
+      for (unsigned t : counts) {
+        const auto r =
+            workloads::run_workload(name, base_options(scheme, t));
+        std::printf(" %6.2f", speedup(seq, r));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

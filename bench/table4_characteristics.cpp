@@ -1,0 +1,56 @@
+// Table 4: benchmark characteristics on the baseline eager HTM.
+//   ABs    — atomic blocks in the source
+//   %TM    — fraction of execution time spent in transactional mode
+//   S      — 16-thread speedup over the sequential run
+//   Abts/C — aborts per commit at 16 threads
+#include "bench_common.hpp"
+
+using namespace st;
+using namespace st::bench;
+
+int main() {
+  print_header("Table 4: benchmark characteristics (baseline HTM)");
+
+  struct PaperRow {
+    const char* name;
+    unsigned abs;
+    int pct_tm;
+    double s;
+    double abts;
+    const char* contention;
+  };
+  const PaperRow paper[] = {
+      {"genome", 5, 61, 6.0, 0.25, "low"},
+      {"intruder", 3, 98, 3.2, 5.28, "high"},
+      {"kmeans", 3, 42, 4.6, 4.74, "high"},
+      {"labyrinth", 3, 91, 1.9, 3.47, "high"},
+      {"ssca2", 10, 16, 4.8, 0.02, "low"},
+      {"vacation", 3, 87, 9.7, 0.49, "med"},
+      {"list-lo", 4, 86, 3.6, 1.11, "med"},
+      {"list-hi", 4, 83, 1.0, 4.05, "high"},
+      {"tsp", 3, 90, 3.6, 1.74, "med"},
+      {"memcached", 17, 85, 2.6, 4.77, "high"},
+  };
+
+  std::printf("%-10s | %4s %5s %5s %7s %6s | paper: %3s %4s %5s %6s %s\n",
+              "benchmark", "ABs", "%TM", "S", "Abts/C", "cont", "ABs", "%TM",
+              "S", "Abts/C", "cont");
+  std::printf(
+      "-----------+------------------------------------+----------------------------\n");
+  const unsigned threads = env_threads();
+  for (const PaperRow& row : paper) {
+    const auto seq = workloads::run_workload(
+        row.name, base_options(runtime::Scheme::kBaseline, 1));
+    const auto par = workloads::run_workload(
+        row.name, base_options(runtime::Scheme::kBaseline, threads));
+    auto wl = workloads::make_workload(row.name);
+    std::printf(
+        "%-10s | %4u %4.0f%% %5.1f %7.2f %6s | paper: %3u %3d%% %5.1f %6.2f "
+        "%s\n",
+        row.name, par.atomic_blocks, par.pct_tm(), speedup(seq, par),
+        par.aborts_per_commit(), wl->expected_contention(), row.abs,
+        row.pct_tm, row.s, row.abts, row.contention);
+    std::fflush(stdout);
+  }
+  return 0;
+}

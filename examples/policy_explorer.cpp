@@ -1,0 +1,73 @@
+// Interactive exploration of the locking policy's behaviour on one
+// workload: prints the per-scheme breakdown of where cycles go (useful /
+// wasted / lock-wait / backoff / irrevocable) and how the decision knobs
+// move it.
+//
+//   ./policy_explorer [workload] [threads] [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/harness.hpp"
+
+namespace {
+
+using namespace st;
+
+void report(const workloads::RunResult& r) {
+  const auto& t = r.totals;
+  const double total =
+      static_cast<double>(t.cycles_useful_tx + t.cycles_wasted_tx +
+                          t.cycles_lock_wait + t.cycles_backoff +
+                          t.cycles_irrevocable + t.cycles_nontx);
+  auto pct = [&](std::uint64_t v) { return 100.0 * v / total; };
+  std::printf(
+      "%-13s cyc=%-10llu Abts/C=%5.2f | useful %4.1f%% wasted %4.1f%% "
+      "lockwait %4.1f%% backoff %4.1f%% serial %4.1f%% non-tx %4.1f%%\n",
+      r.scheme.c_str(), static_cast<unsigned long long>(r.cycles),
+      r.aborts_per_commit(), pct(t.cycles_useful_tx), pct(t.cycles_wasted_tx),
+      pct(t.cycles_lock_wait), pct(t.cycles_backoff),
+      pct(t.cycles_irrevocable), pct(t.cycles_nontx));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "list-hi";
+  const unsigned threads = argc > 2 ? std::atoi(argv[2]) : 16;
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+
+  std::printf("== cycle breakdown per scheme (%s, %u threads) ==\n",
+              name.c_str(), threads);
+  for (const auto scheme :
+       {runtime::Scheme::kBaseline, runtime::Scheme::kAddrOnly,
+        runtime::Scheme::kStaggeredSW, runtime::Scheme::kStaggered}) {
+    workloads::RunOptions o;
+    o.scheme = scheme;
+    o.threads = threads;
+    o.ops_scale = scale;
+    report(workloads::run_workload(name, o));
+  }
+
+  std::printf("\n== Staggered with different PC_THR (activation eagerness) ==\n");
+  for (unsigned thr : {1u, 2u, 4u}) {
+    workloads::RunOptions o;
+    o.scheme = runtime::Scheme::kStaggered;
+    o.threads = threads;
+    o.ops_scale = scale;
+    o.policy.pc_thr = thr;
+    std::printf("PC_THR=%u: ", thr);
+    report(workloads::run_workload(name, o));
+  }
+
+  std::printf("\n== Staggered with promotion disabled vs aggressive ==\n");
+  for (unsigned prom : {1u, 4u, 1000000u}) {
+    workloads::RunOptions o;
+    o.scheme = runtime::Scheme::kStaggered;
+    o.threads = threads;
+    o.ops_scale = scale;
+    o.policy.prom_thr = prom;
+    std::printf("PROM_THR=%-7u: ", prom);
+    report(workloads::run_workload(name, o));
+  }
+  return 0;
+}

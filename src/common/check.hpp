@@ -1,0 +1,34 @@
+// Always-on invariant checking for the simulator.
+//
+// Simulation results are meaningless if an internal invariant is violated,
+// so checks stay enabled in release builds; the hot paths guarded by these
+// macros are metadata operations, not data movement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace st {
+
+[[noreturn]] inline void check_fail(const char* cond, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "ST_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace st
+
+#define ST_CHECK(cond)                                    \
+  do {                                                    \
+    if (!(cond)) [[unlikely]]                             \
+      ::st::check_fail(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ST_CHECK_MSG(cond, msg)                        \
+  do {                                                 \
+    if (!(cond)) [[unlikely]]                          \
+      ::st::check_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define ST_UNREACHABLE(msg) ::st::check_fail("unreachable", __FILE__, __LINE__, msg)

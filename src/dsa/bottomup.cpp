@@ -1,0 +1,66 @@
+#include "dsa/bottomup.hpp"
+
+#include "common/check.hpp"
+
+namespace st::dsa {
+
+ModuleDsa::ModuleDsa(const ir::Module& m) {
+  ir::CallGraph cg(m);
+  for (const ir::Function* f : cg.bottom_up_order()) {
+    auto fi = std::make_unique<FuncInfo>();
+    run_local(*f, *fi);
+
+    // Inline every callee's finished graph.
+    for (const ir::Instr* call : cg.call_sites(f)) {
+      const ir::Function* callee = call->callee;
+      FuncInfo& ci = *infos_.at(callee);
+      auto map = fi->graph.clone_from(ci.graph);
+
+      // Formals <- actuals.
+      for (unsigned i = 0; i < callee->num_params(); ++i) {
+        DSNode* formal = ci.param_nodes[i];
+        if (formal == nullptr) continue;
+        DSNode* cloned = map.at(DSGraph::resolve(formal));
+        auto it = fi->reg_cell.find(call->args[i]);
+        if (it == fi->reg_cell.end()) {
+          // Caller passes something we never tracked (e.g. a constant);
+          // give it a cell so later anchors see a consistent node.
+          fi->reg_cell.emplace(call->args[i], FuncInfo::Cell{cloned, 0});
+        } else {
+          fi->graph.unify(it->second.node, cloned);
+        }
+      }
+      // Result <- return node.
+      if (ci.ret_node != nullptr && call->dst != ir::kNoReg) {
+        DSNode* cloned = map.at(DSGraph::resolve(ci.ret_node));
+        auto it = fi->reg_cell.find(call->dst);
+        if (it == fi->reg_cell.end())
+          fi->reg_cell.emplace(call->dst, FuncInfo::Cell{cloned, 0});
+        else
+          fi->graph.unify(it->second.node, cloned);
+      }
+      fi->callsite_map.emplace(call, std::move(map));
+    }
+    infos_.emplace(f, std::move(fi));
+  }
+}
+
+DSNode* ModuleDsa::access_node(const ir::Function* f,
+                               const ir::Instr* ins) const {
+  const FuncInfo& fi = *infos_.at(f);
+  auto it = fi.access.find(ins);
+  ST_CHECK_MSG(it != fi.access.end(), "instruction has no access info");
+  return DSGraph::resolve(it->second.node);
+}
+
+DSNode* ModuleDsa::translate(const ir::Function* caller, const ir::Instr* call,
+                             const DSNode* callee_node) const {
+  const FuncInfo& fi = *infos_.at(caller);
+  auto mit = fi.callsite_map.find(call);
+  if (mit == fi.callsite_map.end()) return nullptr;
+  auto nit = mit->second.find(DSGraph::resolve(callee_node));
+  if (nit == mit->second.end()) return nullptr;
+  return DSGraph::resolve(nit->second);
+}
+
+}  // namespace st::dsa

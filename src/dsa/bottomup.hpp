@@ -1,0 +1,42 @@
+// DSA bottom-up stage: inline callee graphs into callers.
+//
+// Processing functions in callees-first order, each call site clones the
+// callee's (already complete) graph into the caller and unifies formals
+// with actuals and the return node with the call result. The per-call-site
+// clone maps are retained: the unified-anchor-table pass composes them to
+// translate callee DSNodes into the atomic block's node space (paper §3.3).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "dsa/local.hpp"
+#include "ir/callgraph.hpp"
+#include "ir/module.hpp"
+
+namespace st::dsa {
+
+class ModuleDsa {
+ public:
+  /// Runs local + bottom-up over every function of the module.
+  explicit ModuleDsa(const ir::Module& m);
+
+  FuncInfo& info(const ir::Function* f) { return *infos_.at(f); }
+  const FuncInfo& info(const ir::Function* f) const { return *infos_.at(f); }
+  bool has(const ir::Function* f) const { return infos_.count(f) != 0; }
+
+  /// Node of the pointer operand of a load/store in `f`, fully resolved.
+  DSNode* access_node(const ir::Function* f, const ir::Instr* ins) const;
+
+  /// Caller-side node for a callee-side node across one call site (resolved
+  /// on both ends); null when the callee node does not map (e.g. callee
+  /// locals created after cloning — impossible by construction, but kept
+  /// defensive).
+  DSNode* translate(const ir::Function* caller, const ir::Instr* call,
+                    const DSNode* callee_node) const;
+
+ private:
+  std::unordered_map<const ir::Function*, std::unique_ptr<FuncInfo>> infos_;
+};
+
+}  // namespace st::dsa

@@ -1,0 +1,97 @@
+#include "dsa/dsgraph.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace st::dsa {
+
+DSNode* DSGraph::make_node() {
+  nodes_.push_back(std::make_unique<DSNode>());
+  nodes_.back()->id = next_id_++;
+  return nodes_.back().get();
+}
+
+DSNode* DSGraph::resolve(DSNode* n) {
+  ST_CHECK(n != nullptr);
+  DSNode* root = n;
+  while (root->forward != nullptr) root = root->forward;
+  while (n->forward != nullptr) {  // path compression
+    DSNode* next = n->forward;
+    n->forward = root;
+    n = next;
+  }
+  return root;
+}
+
+const DSNode* DSGraph::resolve(const DSNode* n) {
+  return resolve(const_cast<DSNode*>(n));
+}
+
+void DSGraph::unify(DSNode* a, DSNode* b) {
+  std::vector<std::pair<DSNode*, DSNode*>> work{{a, b}};
+  while (!work.empty()) {
+    auto [x, y] = work.back();
+    work.pop_back();
+    x = resolve(x);
+    y = resolve(y);
+    if (x == y) continue;
+    // Keep the lower id as representative (stable, deterministic).
+    if (y->id < x->id) std::swap(x, y);
+    y->forward = x;
+    x->types.insert(y->types.begin(), y->types.end());
+    x->heap |= y->heap;
+    x->param |= y->param;
+    x->unknown |= y->unknown;
+    for (auto& [off, tgt] : y->edges) {
+      auto it = x->edges.find(off);
+      if (it == x->edges.end())
+        x->edges.emplace(off, tgt);
+      else
+        work.emplace_back(it->second, tgt);
+    }
+    y->edges.clear();
+  }
+}
+
+DSNode* DSGraph::edge_target(DSNode* n, unsigned offset,
+                             const ir::StructType* pointee_hint) {
+  n = resolve(n);
+  auto it = n->edges.find(offset);
+  if (it != n->edges.end()) {
+    DSNode* t = resolve(it->second);
+    if (pointee_hint != nullptr) t->types.insert(pointee_hint);
+    return t;
+  }
+  DSNode* t = make_node();
+  if (pointee_hint != nullptr) t->types.insert(pointee_hint);
+  n->edges.emplace(offset, t);
+  return t;
+}
+
+std::unordered_map<const DSNode*, DSNode*> DSGraph::clone_from(
+    const DSGraph& src) {
+  std::unordered_map<const DSNode*, DSNode*> map;
+  src.for_each_rep([&](const DSNode& n) {
+    DSNode* c = make_node();
+    c->types = n.types;
+    c->heap = n.heap;
+    c->param = n.param;
+    c->unknown = n.unknown;
+    map.emplace(&n, c);
+  });
+  src.for_each_rep([&](const DSNode& n) {
+    DSNode* c = map.at(&n);
+    for (const auto& [off, tgt] : n.edges)
+      c->edges.emplace(off, map.at(resolve(tgt)));
+  });
+  return map;
+}
+
+std::size_t DSGraph::node_count() const {
+  std::size_t n = 0;
+  for_each_rep([&](const DSNode&) { ++n; });
+  return n;
+}
+
+}  // namespace st::dsa

@@ -1,0 +1,73 @@
+// Data Structure Analysis graphs (after Lattner's DSA).
+//
+// A DSNode represents a set of program objects that may alias; pointer
+// fields become labelled edges between nodes (field-sensitive, with arrays
+// collapsed to a single sentinel field). Nodes unify Steensgaard-style via
+// union-find forwarding. Each function gets one graph; the bottom-up stage
+// clones callee graphs into callers (dsa/bottomup.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace st::dsa {
+
+/// Edge label for "some element of an array".
+inline constexpr unsigned kArrayOffset = 0xFFFFFFFFu;
+
+class DSNode {
+ public:
+  unsigned id = 0;
+  std::map<unsigned, DSNode*> edges;  // field byte offset -> target node
+  std::set<const ir::StructType*> types;
+  bool heap = false;     // created by an allocation
+  bool param = false;    // reaches a formal parameter
+  bool unknown = false;  // operand with no tracked provenance
+  DSNode* forward = nullptr;  // union-find link (non-null => merged away)
+};
+
+class DSGraph {
+ public:
+  DSGraph() = default;
+  DSGraph(const DSGraph&) = delete;
+  DSGraph& operator=(const DSGraph&) = delete;
+  DSGraph(DSGraph&&) = default;
+  DSGraph& operator=(DSGraph&&) = default;
+
+  DSNode* make_node();
+
+  /// Union-find find with path compression.
+  static DSNode* resolve(DSNode* n);
+  static const DSNode* resolve(const DSNode* n);
+
+  /// Merges b into a (or vice versa); edge maps are merged recursively.
+  void unify(DSNode* a, DSNode* b);
+
+  /// Returns (creating if needed) the target of `n`'s edge at `offset`.
+  DSNode* edge_target(DSNode* n, unsigned offset,
+                      const ir::StructType* pointee_hint);
+
+  /// Deep-copies the representative nodes of `src` into this graph.
+  /// Returns the mapping resolved-src-node -> new node.
+  std::unordered_map<const DSNode*, DSNode*> clone_from(const DSGraph& src);
+
+  std::size_t node_count() const;  // representatives only
+  template <typename Fn>
+  void for_each_rep(Fn&& fn) const {
+    for (const auto& n : nodes_)
+      if (n->forward == nullptr) fn(*n);
+  }
+
+ private:
+  std::deque<std::unique_ptr<DSNode>> nodes_;
+  unsigned next_id_ = 0;
+};
+
+}  // namespace st::dsa

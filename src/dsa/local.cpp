@@ -1,0 +1,108 @@
+#include "dsa/local.hpp"
+
+#include "common/check.hpp"
+
+namespace st::dsa {
+
+namespace {
+
+FuncInfo::Cell& get_cell(FuncInfo& info, ir::Reg r) {
+  auto it = info.reg_cell.find(r);
+  if (it != info.reg_cell.end()) return it->second;
+  DSNode* n = info.graph.make_node();
+  n->unknown = true;
+  return info.reg_cell.emplace(r, FuncInfo::Cell{n, 0}).first->second;
+}
+
+const FuncInfo::Cell* peek_cell(const FuncInfo& info, ir::Reg r) {
+  auto it = info.reg_cell.find(r);
+  return it == info.reg_cell.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+void run_local(const ir::Function& f, FuncInfo& info) {
+  ST_CHECK(info.graph.node_count() == 0);
+  info.func = &f;
+
+  info.param_nodes.assign(f.num_params(), nullptr);
+  for (unsigned i = 0; i < f.num_params(); ++i) {
+    const ir::StructType* p = f.param_pointee(i);
+    if (p == nullptr) continue;
+    DSNode* n = info.graph.make_node();
+    n->param = true;
+    n->types.insert(p);
+    info.param_nodes[i] = n;
+    info.reg_cell.emplace(f.param_reg(i), FuncInfo::Cell{n, 0});
+  }
+
+  for (const ir::BasicBlock* bb : f.rpo()) {
+    for (const ir::Instr& ins : bb->instrs()) {
+      switch (ins.op) {
+        case ir::Op::Alloc: {
+          DSNode* n = info.graph.make_node();
+          n->heap = true;
+          n->types.insert(ins.type);
+          info.reg_cell[ins.dst] = FuncInfo::Cell{n, 0};
+          break;
+        }
+        case ir::Op::Gep: {
+          FuncInfo::Cell base = get_cell(info, ins.a);
+          DSGraph::resolve(base.node)->types.insert(ins.type);
+          info.reg_cell[ins.dst] =
+              FuncInfo::Cell{base.node, static_cast<unsigned>(ins.imm)};
+          break;
+        }
+        case ir::Op::GepIndex: {
+          FuncInfo::Cell base = get_cell(info, ins.a);
+          DSGraph::resolve(base.node)->types.insert(ins.type);
+          info.reg_cell[ins.dst] = FuncInfo::Cell{base.node, kArrayOffset};
+          break;
+        }
+        case ir::Op::Load:
+        case ir::Op::NtLoad: {
+          FuncInfo::Cell c = get_cell(info, ins.a);
+          info.access[&ins] = FuncInfo::AccessInfo{c.node, c.offset};
+          if (ins.type != nullptr) {
+            DSNode* tgt = info.graph.edge_target(c.node, c.offset, ins.type);
+            info.reg_cell[ins.dst] = FuncInfo::Cell{tgt, 0};
+          }
+          break;
+        }
+        case ir::Op::Store:
+        case ir::Op::NtStore: {
+          FuncInfo::Cell c = get_cell(info, ins.a);
+          info.access[&ins] = FuncInfo::AccessInfo{c.node, c.offset};
+          if (const FuncInfo::Cell* v = peek_cell(info, ins.b)) {
+            DSNode* tgt = info.graph.edge_target(c.node, c.offset, nullptr);
+            info.graph.unify(tgt, v->node);
+          }
+          break;
+        }
+        case ir::Op::Mov: {
+          if (const FuncInfo::Cell* src = peek_cell(info, ins.a)) {
+            if (const FuncInfo::Cell* dst = peek_cell(info, ins.dst))
+              info.graph.unify(dst->node, src->node);
+            else
+              info.reg_cell[ins.dst] = *src;
+          }
+          break;
+        }
+        case ir::Op::Ret: {
+          if (ins.a == ir::kNoReg) break;
+          if (const FuncInfo::Cell* c = peek_cell(info, ins.a)) {
+            if (info.ret_node == nullptr)
+              info.ret_node = c->node;
+            else
+              info.graph.unify(info.ret_node, c->node);
+          }
+          break;
+        }
+        default:
+          break;  // arithmetic, branches, calls: handled by the BU stage
+      }
+    }
+  }
+}
+
+}  // namespace st::dsa

@@ -1,0 +1,42 @@
+// DSA local stage: one points-to graph per function.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dsa/dsgraph.hpp"
+#include "ir/function.hpp"
+
+namespace st::dsa {
+
+/// Per-function analysis state; extended in place by the bottom-up stage.
+struct FuncInfo {
+  const ir::Function* func = nullptr;
+  DSGraph graph;
+  /// Node of each register that holds a pointer (plus the field offset the
+  /// register points at, for gep-derived addresses).
+  struct Cell {
+    DSNode* node = nullptr;
+    unsigned offset = 0;
+  };
+  std::unordered_map<ir::Reg, Cell> reg_cell;
+  /// For each Load/Store: the node (and field offset) of its pointer
+  /// operand. Resolve through the graph before use.
+  struct AccessInfo {
+    DSNode* node = nullptr;
+    unsigned offset = 0;
+  };
+  std::unordered_map<const ir::Instr*, AccessInfo> access;
+  std::vector<DSNode*> param_nodes;  // one per pointer param, else null
+  DSNode* ret_node = nullptr;        // non-null if the function returns a pointer
+  /// Bottom-up stage: per call site, callee-representative -> caller node.
+  std::unordered_map<const ir::Instr*,
+                     std::unordered_map<const DSNode*, DSNode*>>
+      callsite_map;
+};
+
+/// Runs the flow-insensitive, field-sensitive, unification-based local
+/// stage over `f`, writing into `info` (whose graph must be empty).
+void run_local(const ir::Function& f, FuncInfo& info);
+
+}  // namespace st::dsa

@@ -1,0 +1,299 @@
+#include "htm/htm.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace st::htm {
+
+HtmSystem::HtmSystem(sim::Heap& heap, sim::MemorySystem& mem,
+                     sim::MachineStats& stats)
+    : heap_(heap), mem_(mem), stats_(stats), tx_(mem.config().cores) {
+  mem_.set_conflict_sink(this);
+}
+
+void HtmSystem::begin(CoreId c) {
+  TxState& tx = tx_[c];
+  ST_CHECK_MSG(!tx.active, "nested transactions are not supported");
+  tx.active = true;
+  tx.pending_abort = false;
+  tx.info = AbortInfo{};
+  tx.wb.clear();
+  tx.allocs.clear();
+  tx.deferred_frees.clear();
+}
+
+void HtmSystem::on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
+                                  std::uint16_t pc_tag, std::uint32_t first_pc,
+                                  CoreId requester) {
+  TxState& tx = tx_[victim];
+  ST_CHECK_MSG(tx.active, "conflict abort of a core not in a transaction");
+  // A victim may be hit several times before it notices; keep the first.
+  if (!tx.pending_abort) {
+    tx.pending_abort = true;
+    tx.info.cause = AbortCause::Conflict;
+    tx.info.conflict_line = line;
+    tx.info.pc_tag_valid = pc_valid;
+    tx.info.pc_tag = pc_tag;
+    tx.info.true_first_pc = first_pc;
+    tx.info.aborter = requester;
+    stats_.record_abort({victim, line, first_pc, pc_tag,
+                         clock_ ? clock_() : 0});
+  }
+  // Requester-wins: the victim's speculative lines must vanish immediately
+  // so the requester observes committed data.
+  mem_.clear_speculative(victim, /*invalidate_written=*/true);
+}
+
+AbortInfo HtmSystem::abort(CoreId c, AbortCause self_cause) {
+  TxState& tx = tx_[c];
+  ST_CHECK_MSG(tx.active, "abort of a core not in a transaction");
+  if (!tx.pending_abort) {
+    tx.info = AbortInfo{};
+    tx.info.cause = self_cause == AbortCause::None ? AbortCause::Explicit
+                                                   : self_cause;
+    mem_.clear_speculative(c, /*invalidate_written=*/true);
+  }
+  switch (tx.info.cause) {
+    case AbortCause::Conflict: ++stats_.core(c).aborts_conflict; break;
+    case AbortCause::Capacity: ++stats_.core(c).aborts_capacity; break;
+    case AbortCause::Glock: ++stats_.core(c).aborts_glock; break;
+    default: ++stats_.core(c).aborts_explicit; break;
+  }
+  // Roll back: drop speculative stores, undo allocations, cancel frees.
+  tx.wb.clear();
+  for (Addr a : tx.allocs) heap_.dealloc(a);
+  tx.allocs.clear();
+  tx.deferred_frees.clear();
+  tx.active = false;
+  tx.pending_abort = false;
+  return tx.info;
+}
+
+bool HtmSystem::commit(CoreId c, Cycle* publish_latency) {
+  TxState& tx = tx_[c];
+  ST_CHECK_MSG(tx.active, "commit of a core not in a transaction");
+  if (tx.pending_abort) return false;
+  if (lazy()) {
+    // Commit-time conflict detection: acquire ownership of every written
+    // line, aborting transactions that touched them (committer wins).
+    Cycle lat = 0;
+    for (Addr line : mem_.speculative_written_lines(c))
+      lat += mem_.publish_line(c, line);
+    if (publish_latency != nullptr) *publish_latency = lat;
+  }
+  drain_wb(tx);
+  mem_.clear_speculative(c, /*invalidate_written=*/false);
+  for (Addr a : tx.deferred_frees) heap_.dealloc(a);
+  tx.deferred_frees.clear();
+  tx.allocs.clear();
+  tx.wb.clear();
+  tx.active = false;
+  ++stats_.core(c).commits;
+  return true;
+}
+
+void HtmSystem::mark_capacity_abort(CoreId c, Addr a) {
+  if (getenv("ST_DEBUG_CAP")) {
+    std::fprintf(stderr, "CAPACITY core=%u addr=%llx line=%llx set=%llu spec_lines=%u\n",
+                 c, (unsigned long long)a, (unsigned long long)sim::line_addr(a),
+                 (unsigned long long)(sim::line_index(a) & 127), mem_.speculative_lines(c));
+  }
+  TxState& tx = tx_[c];
+  ST_CHECK_MSG(tx.active, "capacity abort outside a transaction");
+  tx.pending_abort = true;
+  tx.info = AbortInfo{};
+  tx.info.cause = AbortCause::Capacity;
+  tx.info.conflict_line = sim::line_addr(a);
+  mem_.clear_speculative(c, /*invalidate_written=*/true);
+}
+
+std::uint64_t HtmSystem::read_through_wb(const TxState& tx, Addr a,
+                                         unsigned size) const {
+  const Addr chunk = a >> 3;
+  const unsigned off = static_cast<unsigned>(a & 7);
+  std::uint64_t v = heap_.load(a, size);
+  auto it = tx.wb.find(chunk);
+  if (it == tx.wb.end()) return v;
+  const WbChunk& wc = it->second;
+  for (unsigned i = 0; i < size; ++i) {
+    if (wc.mask & (1u << (off + i))) {
+      const std::uint64_t byte = (wc.data >> (8 * (off + i))) & 0xFF;
+      v = (v & ~(std::uint64_t{0xFF} << (8 * i))) | (byte << (8 * i));
+    }
+  }
+  return v;
+}
+
+void HtmSystem::write_to_wb(TxState& tx, Addr a, std::uint64_t v,
+                            unsigned size) {
+  const Addr chunk = a >> 3;
+  const unsigned off = static_cast<unsigned>(a & 7);
+  WbChunk& wc = tx.wb[chunk];
+  for (unsigned i = 0; i < size; ++i) {
+    const std::uint64_t byte = (v >> (8 * i)) & 0xFF;
+    wc.data = (wc.data & ~(std::uint64_t{0xFF} << (8 * (off + i)))) |
+              (byte << (8 * (off + i)));
+    wc.mask |= static_cast<std::uint8_t>(1u << (off + i));
+  }
+}
+
+void HtmSystem::drain_wb(TxState& tx) {
+  for (const auto& [chunk, wc] : tx.wb) {
+    const Addr base = chunk << 3;
+    std::uint64_t v = heap_.load(base, 8);
+    for (unsigned i = 0; i < 8; ++i) {
+      if (wc.mask & (1u << i)) {
+        const std::uint64_t byte = (wc.data >> (8 * i)) & 0xFF;
+        v = (v & ~(std::uint64_t{0xFF} << (8 * i))) | (byte << (8 * i));
+      }
+    }
+    heap_.store(base, v, 8);
+  }
+}
+
+HtmSystem::MemOp HtmSystem::load(CoreId c, Addr a, unsigned size,
+                                 std::uint32_t pc) {
+  TxState& tx = tx_[c];
+  ST_CHECK_MSG(tx.active, "transactional load outside a transaction");
+  MemOp r;
+  if (tx.pending_abort) {
+    r.ok = false;
+    return r;
+  }
+  const auto out = mem_.access(c, a, size, sim::AccessKind::Load, true, pc);
+  r.latency = out.latency;
+  ++stats_.core(c).tx_mem_ops;
+  if (out.capacity_abort) {
+    mark_capacity_abort(c, a);
+    r.ok = false;
+    return r;
+  }
+  r.value = read_through_wb(tx, a, size);
+  return r;
+}
+
+HtmSystem::MemOp HtmSystem::store(CoreId c, Addr a, std::uint64_t v,
+                                  unsigned size, std::uint32_t pc) {
+  TxState& tx = tx_[c];
+  ST_CHECK_MSG(tx.active, "transactional store outside a transaction");
+  MemOp r;
+  if (tx.pending_abort) {
+    r.ok = false;
+    return r;
+  }
+  const auto out = lazy()
+                       ? mem_.tx_store_lazy(c, a, size, pc)
+                       : mem_.access(c, a, size, sim::AccessKind::Store, true, pc);
+  r.latency = out.latency;
+  ++stats_.core(c).tx_mem_ops;
+  if (out.capacity_abort) {
+    mark_capacity_abort(c, a);
+    r.ok = false;
+    return r;
+  }
+  write_to_wb(tx, a, v, size);
+  return r;
+}
+
+HtmSystem::MemOp HtmSystem::plain_load(CoreId c, Addr a, unsigned size) {
+  ST_CHECK_MSG(!tx_[c].active, "plain load inside a transaction");
+  MemOp r;
+  r.latency = mem_.access(c, a, size, sim::AccessKind::Load, false, 0).latency;
+  r.value = heap_.load(a, size);
+  return r;
+}
+
+HtmSystem::MemOp HtmSystem::plain_store(CoreId c, Addr a, std::uint64_t v,
+                                        unsigned size) {
+  ST_CHECK_MSG(!tx_[c].active, "plain store inside a transaction");
+  MemOp r;
+  r.latency = mem_.access(c, a, size, sim::AccessKind::Store, false, 0).latency;
+  heap_.store(a, v, size);
+  return r;
+}
+
+namespace {
+// Nontransactional accesses are cached like ordinary accesses (they simply
+// never join the read/write set), so mixing them with transactional
+// accesses to the same line inside one transaction would corrupt the
+// speculative-data model. Workloads keep lock/map lines disjoint from data
+// lines; this guard enforces it.
+void check_not_own_speculative(sim::MemorySystem& mem, CoreId c, Addr a) {
+  const sim::L1Line* l = mem.peek_l1(c, sim::line_addr(a));
+  ST_CHECK_MSG(l == nullptr || !l->speculative(),
+               "nontransactional access to a speculatively accessed line");
+}
+}  // namespace
+
+HtmSystem::MemOp HtmSystem::nontx_load(CoreId c, Addr a, unsigned size) {
+  check_not_own_speculative(mem_, c, a);
+  MemOp r;
+  const auto out = mem_.access(c, a, size, sim::AccessKind::Load, false, 0);
+  r.latency = out.latency;
+  if (out.capacity_abort) {
+    // Filling the line would evict one of our own speculative lines: the
+    // enclosing transaction overflows, exactly as a transactional fill would.
+    mark_capacity_abort(c, a);
+    r.ok = false;
+    return r;
+  }
+  r.value = heap_.load(a, size);
+  return r;
+}
+
+HtmSystem::MemOp HtmSystem::nontx_store(CoreId c, Addr a, std::uint64_t v,
+                                        unsigned size) {
+  check_not_own_speculative(mem_, c, a);
+  MemOp r;
+  const auto out = mem_.access(c, a, size, sim::AccessKind::Store, false, 0);
+  r.latency = out.latency;
+  if (out.capacity_abort) {
+    mark_capacity_abort(c, a);
+    r.ok = false;
+    return r;
+  }
+  heap_.store(a, v, size);
+  return r;
+}
+
+HtmSystem::CasResult HtmSystem::nontx_cas(CoreId c, Addr a,
+                                          std::uint64_t expect,
+                                          std::uint64_t desired) {
+  check_not_own_speculative(mem_, c, a);
+  CasResult r;
+  r.latency = mem_.access(c, a, 8, sim::AccessKind::Load, false, 0).latency;
+  r.observed = heap_.load(a, 8);
+  if (r.observed == expect) {
+    r.latency += mem_.access(c, a, 8, sim::AccessKind::Store, false, 0).latency;
+    heap_.store(a, desired, 8);
+    r.success = true;
+  }
+  return r;
+}
+
+Addr HtmSystem::tx_alloc(CoreId c, std::size_t size) {
+  const Addr a = heap_.alloc(c, size);
+  if (tx_[c].active) tx_[c].allocs.push_back(a);
+  return a;
+}
+
+void HtmSystem::tx_free(CoreId c, Addr a) {
+  if (tx_[c].active)
+    tx_[c].deferred_frees.push_back(a);
+  else
+    heap_.dealloc(a);
+}
+
+std::size_t HtmSystem::write_buffer_bytes(CoreId c) const {
+  std::size_t n = 0;
+  for (const auto& [k, wc] : tx_[c].wb) {
+    (void)k;
+    n += static_cast<std::size_t>(std::popcount(wc.mask));
+  }
+  return n;
+}
+
+}  // namespace st::htm

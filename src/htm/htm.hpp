@@ -1,0 +1,149 @@
+// ASF-style best-effort hardware transactional memory.
+//
+// Speculative stores are buffered per core and drained to the heap at
+// commit; conflict detection is eager requester-wins, performed by the
+// memory system on coherence requests (see sim/memory_system.hpp). On a
+// contention abort the hardware reports the conflicting line address and
+// the (truncated) PC of the instruction that first touched that line in the
+// victim transaction — the paper's %rbx convention. Nontransactional loads
+// and stores escape isolation: they bypass the read/write sets, see the
+// latest committed values, and their stores take effect immediately and
+// survive aborts (the feature advisory locks are built on).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/heap.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/stats.hpp"
+
+namespace st::htm {
+
+using sim::Addr;
+using sim::CoreId;
+using sim::Cycle;
+
+enum class AbortCause : std::uint8_t {
+  None,
+  Conflict,   // remote coherence request hit our read/write set
+  Capacity,   // read/write set overflowed an L1 set
+  Explicit,   // software xabort
+  Glock,      // global fallback lock observed held at commit (subscription)
+};
+
+struct AbortInfo {
+  AbortCause cause = AbortCause::None;
+  Addr conflict_line = 0;
+  bool pc_tag_valid = false;
+  std::uint16_t pc_tag = 0;        // architecturally visible (12-bit default)
+  std::uint32_t true_first_pc = 0; // simulator ground truth, for accuracy stats
+  CoreId aborter = 0;
+};
+
+class HtmSystem final : public sim::ConflictSink {
+ public:
+  HtmSystem(sim::Heap& heap, sim::MemorySystem& mem, sim::MachineStats& stats);
+
+  /// Installs a time source used to timestamp abort records (optional).
+  void set_clock(std::function<Cycle()> clock) { clock_ = std::move(clock); }
+
+  // ---- transaction lifecycle ----
+  void begin(CoreId c);
+  bool active(CoreId c) const { return tx_[c].active; }
+  bool pending_abort(CoreId c) const { return tx_[c].pending_abort; }
+
+  /// Finalizes an abort: discards the write buffer, rolls back allocations,
+  /// clears speculative cache state, bumps counters. For self-inflicted
+  /// aborts pass the cause; for asynchronous (conflict/capacity) aborts the
+  /// recorded pending cause wins. Returns the abort info.
+  AbortInfo abort(CoreId c, AbortCause self_cause = AbortCause::None);
+
+  /// Attempts to commit. Fails (returns false) iff an abort is pending, in
+  /// which case the caller must invoke abort(). Under lazy conflict
+  /// detection the commit publishes the write set (aborting conflicting
+  /// transactions — committer wins) and reports the publication latency.
+  bool commit(CoreId c, Cycle* publish_latency = nullptr);
+
+  /// True when the underlying memory system defers transactional conflicts
+  /// to commit time.
+  bool lazy() const { return mem_.config().lazy_conflicts; }
+
+  // ---- memory operations ----
+  struct MemOp {
+    std::uint64_t value = 0;
+    Cycle latency = 0;
+    bool ok = true;  // false: the access aborted the running transaction
+  };
+
+  /// Transactional access (core must be in a transaction).
+  MemOp load(CoreId c, Addr a, unsigned size, std::uint32_t pc);
+  MemOp store(CoreId c, Addr a, std::uint64_t v, unsigned size, std::uint32_t pc);
+
+  /// Plain cached access (core must NOT be in a transaction); used for
+  /// setup code, non-transactional program phases, and irrevocable mode.
+  MemOp plain_load(CoreId c, Addr a, unsigned size);
+  MemOp plain_store(CoreId c, Addr a, std::uint64_t v, unsigned size);
+
+  /// Nontransactional access from inside (or outside) a transaction (§4).
+  MemOp nontx_load(CoreId c, Addr a, unsigned size);
+  MemOp nontx_store(CoreId c, Addr a, std::uint64_t v, unsigned size);
+
+  /// Atomic compare-and-swap built from nontransactional accesses; the
+  /// primitive advisory locks and the global fallback lock use.
+  struct CasResult {
+    bool success = false;
+    std::uint64_t observed = 0;
+    Cycle latency = 0;
+  };
+  CasResult nontx_cas(CoreId c, Addr a, std::uint64_t expect,
+                      std::uint64_t desired);
+
+  /// Heap allocation inside a transaction; rolled back if the transaction
+  /// aborts. Outside a transaction it is a plain allocation.
+  Addr tx_alloc(CoreId c, std::size_t size);
+  /// Deferred free: performed at commit, cancelled on abort.
+  void tx_free(CoreId c, Addr a);
+
+  const AbortInfo& peek_abort_info(CoreId c) const { return tx_[c].info; }
+  std::size_t write_buffer_bytes(CoreId c) const;
+
+  // sim::ConflictSink
+  void on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
+                         std::uint16_t pc_tag, std::uint32_t first_pc,
+                         CoreId requester) override;
+
+  sim::Heap& heap() { return heap_; }
+  sim::MemorySystem& mem() { return mem_; }
+  sim::MachineStats& stats() { return stats_; }
+
+ private:
+  struct WbChunk {
+    std::uint64_t data = 0;
+    std::uint8_t mask = 0;  // bit i set => byte i is buffered
+  };
+  struct TxState {
+    bool active = false;
+    bool pending_abort = false;
+    AbortInfo info;
+    std::unordered_map<Addr, WbChunk> wb;  // keyed by addr >> 3
+    std::vector<Addr> allocs;
+    std::vector<Addr> deferred_frees;
+  };
+
+  void mark_capacity_abort(CoreId c, Addr a);
+  std::uint64_t read_through_wb(const TxState& tx, Addr a, unsigned size) const;
+  void write_to_wb(TxState& tx, Addr a, std::uint64_t v, unsigned size);
+  void drain_wb(TxState& tx);
+
+  sim::Heap& heap_;
+  sim::MemorySystem& mem_;
+  sim::MachineStats& stats_;
+  std::function<Cycle()> clock_;
+  std::vector<TxState> tx_;
+};
+
+}  // namespace st::htm

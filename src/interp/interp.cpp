@@ -1,0 +1,210 @@
+#include "interp/interp.hpp"
+
+#include "common/check.hpp"
+
+namespace st::interp {
+
+using ir::Instr;
+using ir::Op;
+using ir::Reg;
+
+void Interp::start(const ir::Function* f,
+                   std::span<const std::uint64_t> args) {
+  ST_CHECK(f != nullptr && f->entry() != nullptr);
+  ST_CHECK_MSG(args.size() == f->num_params(), "argument count mismatch");
+  reset();
+  Frame fr;
+  fr.f = f;
+  fr.bb = f->entry();
+  fr.it = fr.bb->instrs().begin();
+  fr.regs.assign(f->num_regs(), 0);
+  for (std::size_t i = 0; i < args.size(); ++i) fr.regs[i] = args[i];
+  frames_.push_back(std::move(fr));
+}
+
+void Interp::reset() {
+  frames_.clear();
+  result_ = 0;
+  instr_count_ = 0;
+  alp_count_ = 0;
+}
+
+Interp::Step Interp::step() {
+  Step out;
+  if (frames_.empty()) {
+    out.finished = true;
+    return out;
+  }
+  Frame& fr = frames_.back();
+  ST_CHECK_MSG(fr.it != fr.bb->instrs().end(),
+               "fell off the end of a basic block");
+  const Instr& ins = *fr.it;
+  auto R = [&](Reg r) -> std::uint64_t {
+    ST_CHECK(r < fr.regs.size());
+    return fr.regs[r];
+  };
+  auto W = [&](Reg r, std::uint64_t v) {
+    ST_CHECK(r < fr.regs.size());
+    fr.regs[r] = v;
+  };
+  auto S = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+
+  out.cycles = kAluCost;
+  bool advance = true;
+
+  switch (ins.op) {
+    case Op::ConstI: W(ins.dst, static_cast<std::uint64_t>(ins.imm)); break;
+    case Op::Mov: W(ins.dst, R(ins.a)); break;
+    case Op::Add: W(ins.dst, R(ins.a) + R(ins.b)); break;
+    case Op::Sub: W(ins.dst, R(ins.a) - R(ins.b)); break;
+    case Op::Mul: W(ins.dst, R(ins.a) * R(ins.b)); break;
+    case Op::SDiv: {
+      ST_CHECK_MSG(R(ins.b) != 0, "division by zero");
+      W(ins.dst, static_cast<std::uint64_t>(S(R(ins.a)) / S(R(ins.b))));
+      out.cycles = 12;
+      break;
+    }
+    case Op::SRem: {
+      ST_CHECK_MSG(R(ins.b) != 0, "remainder by zero");
+      W(ins.dst, static_cast<std::uint64_t>(S(R(ins.a)) % S(R(ins.b))));
+      out.cycles = 12;
+      break;
+    }
+    case Op::And: W(ins.dst, R(ins.a) & R(ins.b)); break;
+    case Op::Or: W(ins.dst, R(ins.a) | R(ins.b)); break;
+    case Op::Xor: W(ins.dst, R(ins.a) ^ R(ins.b)); break;
+    case Op::Shl: W(ins.dst, R(ins.a) << (R(ins.b) & 63)); break;
+    case Op::LShr: W(ins.dst, R(ins.a) >> (R(ins.b) & 63)); break;
+    case Op::CmpEq: W(ins.dst, R(ins.a) == R(ins.b)); break;
+    case Op::CmpNe: W(ins.dst, R(ins.a) != R(ins.b)); break;
+    case Op::CmpSLt: W(ins.dst, S(R(ins.a)) < S(R(ins.b))); break;
+    case Op::CmpSLe: W(ins.dst, S(R(ins.a)) <= S(R(ins.b))); break;
+    case Op::CmpSGt: W(ins.dst, S(R(ins.a)) > S(R(ins.b))); break;
+    case Op::CmpSGe: W(ins.dst, S(R(ins.a)) >= S(R(ins.b))); break;
+    case Op::CmpULt: W(ins.dst, R(ins.a) < R(ins.b)); break;
+
+    case Op::Gep:
+      W(ins.dst, R(ins.a) + static_cast<std::uint64_t>(ins.imm));
+      break;
+    case Op::GepIndex:
+      W(ins.dst, R(ins.a) + R(ins.b) * static_cast<std::uint64_t>(ins.imm));
+      break;
+
+    case Op::Load: {
+      const auto m = env_.load(R(ins.a), ins.acc_size, ins.pc);
+      out.cycles = m.latency;
+      if (!m.ok) {
+        out.aborted = true;
+        break;
+      }
+      W(ins.dst, m.value);
+      break;
+    }
+    case Op::Store: {
+      const auto m = env_.store(R(ins.a), R(ins.b), ins.acc_size, ins.pc);
+      out.cycles = m.latency;
+      if (!m.ok) out.aborted = true;
+      break;
+    }
+    case Op::NtLoad: {
+      const auto m = env_.nt_load(R(ins.a), ins.acc_size);
+      out.cycles = m.latency;
+      if (!m.ok) {
+        out.aborted = true;
+        break;
+      }
+      W(ins.dst, m.value);
+      break;
+    }
+    case Op::NtStore: {
+      const auto m = env_.nt_store(R(ins.a), R(ins.b), ins.acc_size);
+      out.cycles = m.latency;
+      if (!m.ok) out.aborted = true;
+      break;
+    }
+    case Op::Alloc: {
+      sim::Addr a = 0;
+      const auto m = env_.alloc(ins.type, a);
+      out.cycles = m.latency;
+      if (!m.ok) {
+        out.aborted = true;
+        break;
+      }
+      W(ins.dst, a);
+      break;
+    }
+    case Op::Free:
+      env_.free_(R(ins.a));
+      out.cycles = 8;
+      break;
+
+    case Op::Br:
+      fr.bb = ins.t1;
+      fr.it = fr.bb->instrs().begin();
+      advance = false;
+      break;
+    case Op::CondBr:
+      fr.bb = R(ins.a) != 0 ? ins.t1 : ins.t2;
+      fr.it = fr.bb->instrs().begin();
+      advance = false;
+      break;
+
+    case Op::Call: {
+      Frame callee;
+      callee.f = ins.callee;
+      callee.bb = ins.callee->entry();
+      callee.it = callee.bb->instrs().begin();
+      callee.ret_to = ins.dst;
+      callee.regs.assign(ins.callee->num_regs(), 0);
+      for (std::size_t i = 0; i < ins.args.size(); ++i)
+        callee.regs[i] = R(ins.args[i]);
+      out.cycles = kCallCost;
+      ++instr_count_;
+      // Advance the caller past the call before pushing (the push may
+      // reallocate `frames_`, invalidating `fr`).
+      ++fr.it;
+      frames_.push_back(std::move(callee));
+      return out;
+    }
+    case Op::Ret: {
+      const std::uint64_t v = ins.a == ir::kNoReg ? 0 : R(ins.a);
+      const Reg ret_to = fr.ret_to;
+      frames_.pop_back();
+      ++instr_count_;
+      if (frames_.empty()) {
+        result_ = v;
+        out.finished = true;
+      } else if (ret_to != ir::kNoReg) {
+        Frame& caller = frames_.back();
+        ST_CHECK(ret_to < caller.regs.size());
+        caller.regs[ret_to] = v;
+      }
+      return out;
+    }
+
+    case Op::AlPoint: {
+      const auto r = env_.alpoint(ins.alp_id, R(ins.a), ins.pc);
+      out.cycles = r.latency;
+      if (!r.ok) {
+        out.aborted = true;
+        break;
+      }
+      if (r.retry) {
+        advance = false;  // spin: re-execute this ALPoint next step
+        return out;       // do not count spins as retired instructions
+      }
+      ++alp_count_;
+      break;
+    }
+
+    case Op::Nop:
+      break;
+  }
+
+  if (out.aborted) return out;
+  ++instr_count_;
+  if (advance) ++fr.it;
+  return out;
+}
+
+}  // namespace st::interp

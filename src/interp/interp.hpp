@@ -1,0 +1,89 @@
+// Step-wise TxIR interpreter.
+//
+// Executes one instruction per step() so the discrete-event scheduler can
+// interleave cores at instruction granularity. All memory effects go through
+// an ExecEnv, which the transaction executor implements in three flavours:
+// speculative (HTM), irrevocable (plain accesses under the global lock), and
+// setup (single-threaded initialization).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "sim/types.hpp"
+
+namespace st::interp {
+
+class ExecEnv {
+ public:
+  virtual ~ExecEnv() = default;
+
+  struct Mem {
+    std::uint64_t value = 0;
+    sim::Cycle latency = 0;
+    bool ok = true;  // false: the enclosing transaction aborted
+  };
+  virtual Mem load(sim::Addr a, unsigned size, std::uint32_t pc) = 0;
+  virtual Mem store(sim::Addr a, std::uint64_t v, unsigned size,
+                    std::uint32_t pc) = 0;
+  virtual Mem nt_load(sim::Addr a, unsigned size) = 0;
+  virtual Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) = 0;
+
+  /// Allocation cost is charged by the env; `out` receives the address.
+  virtual Mem alloc(const ir::StructType* t, sim::Addr& out) = 0;
+  virtual void free_(sim::Addr a) = 0;
+
+  struct AlpResult {
+    sim::Cycle latency = 1;
+    bool retry = false;  // re-execute the ALPoint next step (spinning)
+    bool ok = true;      // false: transaction aborted while waiting
+  };
+  virtual AlpResult alpoint(std::uint32_t alp_id, sim::Addr data_addr,
+                            std::uint32_t pc) = 0;
+};
+
+class Interp {
+ public:
+  explicit Interp(ExecEnv& env) : env_(env) {}
+
+  void start(const ir::Function* f, std::span<const std::uint64_t> args);
+  void reset();
+
+  struct Step {
+    sim::Cycle cycles = 1;
+    bool finished = false;
+    bool aborted = false;
+  };
+  /// Executes (at most) one instruction.
+  Step step();
+
+  bool running() const { return !frames_.empty(); }
+  std::uint64_t result() const { return result_; }
+  std::uint64_t instrs_executed() const { return instr_count_; }
+  std::uint64_t alps_executed() const { return alp_count_; }
+
+  /// Cost model constants (cycles).
+  static constexpr sim::Cycle kAluCost = 1;
+  static constexpr sim::Cycle kCallCost = 2;
+  static constexpr sim::Cycle kAllocCost = 24;
+  static constexpr sim::Cycle kInactiveAlpCost = 1;  // test + untaken branch
+
+ private:
+  struct Frame {
+    const ir::Function* f = nullptr;
+    const ir::BasicBlock* bb = nullptr;
+    std::list<ir::Instr>::const_iterator it;
+    ir::Reg ret_to = ir::kNoReg;
+    std::vector<std::uint64_t> regs;
+  };
+
+  ExecEnv& env_;
+  std::vector<Frame> frames_;
+  std::uint64_t result_ = 0;
+  std::uint64_t instr_count_ = 0;
+  std::uint64_t alp_count_ = 0;
+};
+
+}  // namespace st::interp

@@ -1,0 +1,263 @@
+#include "ir/builder.hpp"
+
+#include "common/check.hpp"
+
+namespace st::ir {
+
+FunctionBuilder::FunctionBuilder(Module& m, std::string name,
+                                 std::vector<const StructType*> params)
+    : m_(m), f_(m.add_function(std::move(name), std::move(params))) {
+  cur_ = f_->add_block("entry");
+}
+
+Instr& FunctionBuilder::emit(Instr ins) {
+  ST_CHECK_MSG(cur_ != nullptr, "no insertion block");
+  ST_CHECK_MSG(!cur_->has_terminator(), "emitting past a terminator");
+  cur_->instrs().push_back(std::move(ins));
+  return cur_->instrs().back();
+}
+
+Reg FunctionBuilder::const_i(std::int64_t v) {
+  Instr ins;
+  ins.op = Op::ConstI;
+  ins.dst = f_->fresh_reg();
+  ins.imm = v;
+  return emit(std::move(ins)).dst;
+}
+
+Reg FunctionBuilder::binop(Op op, Reg a, Reg b) {
+  Instr ins;
+  ins.op = op;
+  ins.dst = f_->fresh_reg();
+  ins.a = a;
+  ins.b = b;
+  return emit(std::move(ins)).dst;
+}
+
+Reg FunctionBuilder::var(Reg init) {
+  Instr ins;
+  ins.op = Op::Mov;
+  ins.dst = f_->fresh_reg();
+  ins.a = init;
+  return emit(std::move(ins)).dst;
+}
+
+void FunctionBuilder::assign(Reg dst, Reg src) {
+  Instr ins;
+  ins.op = Op::Mov;
+  ins.dst = dst;
+  ins.a = src;
+  emit(std::move(ins));
+}
+
+Reg FunctionBuilder::gep(Reg base, const StructType* t,
+                         std::string_view field) {
+  ST_CHECK(t != nullptr && !t->is_array);
+  const unsigned idx = t->field_index(field);
+  Instr ins;
+  ins.op = Op::Gep;
+  ins.dst = f_->fresh_reg();
+  ins.a = base;
+  ins.imm = t->fields[idx].offset;
+  ins.type = t;
+  ins.field = static_cast<std::uint16_t>(idx);
+  return emit(std::move(ins)).dst;
+}
+
+Reg FunctionBuilder::gep_index(Reg base, const StructType* array_t,
+                               Reg index) {
+  ST_CHECK(array_t != nullptr && array_t->is_array);
+  Instr ins;
+  ins.op = Op::GepIndex;
+  ins.dst = f_->fresh_reg();
+  ins.a = base;
+  ins.b = index;
+  ins.imm = array_t->elem_size;
+  ins.type = array_t;
+  ins.field = static_cast<std::uint16_t>(StructType::kArrayField);
+  return emit(std::move(ins)).dst;
+}
+
+Reg FunctionBuilder::load(Reg addr, std::uint8_t size,
+                          const StructType* pointee) {
+  Instr ins;
+  ins.op = Op::Load;
+  ins.dst = f_->fresh_reg();
+  ins.a = addr;
+  ins.acc_size = size;
+  ins.type = pointee;
+  return emit(std::move(ins)).dst;
+}
+
+void FunctionBuilder::store(Reg addr, Reg value, std::uint8_t size) {
+  Instr ins;
+  ins.op = Op::Store;
+  ins.a = addr;
+  ins.b = value;
+  ins.acc_size = size;
+  emit(std::move(ins));
+}
+
+Reg FunctionBuilder::nt_load(Reg addr, std::uint8_t size) {
+  Instr ins;
+  ins.op = Op::NtLoad;
+  ins.dst = f_->fresh_reg();
+  ins.a = addr;
+  ins.acc_size = size;
+  return emit(std::move(ins)).dst;
+}
+
+void FunctionBuilder::nt_store(Reg addr, Reg value, std::uint8_t size) {
+  Instr ins;
+  ins.op = Op::NtStore;
+  ins.a = addr;
+  ins.b = value;
+  ins.acc_size = size;
+  emit(std::move(ins));
+}
+
+Reg FunctionBuilder::load_field(Reg obj, const StructType* t,
+                                std::string_view field) {
+  const Field& fl = t->field(t->field_index(field));
+  return load(gep(obj, t, field), fl.size, fl.pointee);
+}
+
+void FunctionBuilder::store_field(Reg obj, const StructType* t,
+                                  std::string_view field, Reg value) {
+  const Field& fl = t->field(t->field_index(field));
+  store(gep(obj, t, field), value, fl.size);
+}
+
+Reg FunctionBuilder::load_elem(Reg arr, const StructType* array_t, Reg index) {
+  return load(gep_index(arr, array_t, index),
+              static_cast<std::uint8_t>(array_t->elem_size),
+              array_t->elem_pointee);
+}
+
+void FunctionBuilder::store_elem(Reg arr, const StructType* array_t, Reg index,
+                                 Reg value) {
+  store(gep_index(arr, array_t, index), value,
+        static_cast<std::uint8_t>(array_t->elem_size));
+}
+
+Reg FunctionBuilder::alloc(const StructType* t) {
+  ST_CHECK(t != nullptr);
+  Instr ins;
+  ins.op = Op::Alloc;
+  ins.dst = f_->fresh_reg();
+  ins.type = t;
+  return emit(std::move(ins)).dst;
+}
+
+void FunctionBuilder::free_(Reg addr) {
+  Instr ins;
+  ins.op = Op::Free;
+  ins.a = addr;
+  emit(std::move(ins));
+}
+
+BasicBlock* FunctionBuilder::new_block(std::string name) {
+  return f_->add_block(name + "." + std::to_string(next_name_++));
+}
+
+void FunctionBuilder::br(BasicBlock* target) {
+  Instr ins;
+  ins.op = Op::Br;
+  ins.t1 = target;
+  emit(std::move(ins));
+}
+
+void FunctionBuilder::cond_br(Reg cond, BasicBlock* then_bb,
+                              BasicBlock* else_bb) {
+  Instr ins;
+  ins.op = Op::CondBr;
+  ins.a = cond;
+  ins.t1 = then_bb;
+  ins.t2 = else_bb;
+  emit(std::move(ins));
+}
+
+Reg FunctionBuilder::call(Function* callee, std::initializer_list<Reg> args) {
+  return call(callee, std::vector<Reg>(args));
+}
+
+Reg FunctionBuilder::call(Function* callee, const std::vector<Reg>& args) {
+  ST_CHECK(callee != nullptr);
+  ST_CHECK_MSG(args.size() == callee->num_params(),
+               "call argument count mismatch");
+  Instr ins;
+  ins.op = Op::Call;
+  ins.dst = f_->fresh_reg();
+  ins.callee = callee;
+  ins.args = args;
+  return emit(std::move(ins)).dst;
+}
+
+void FunctionBuilder::ret(Reg value) {
+  Instr ins;
+  ins.op = Op::Ret;
+  ins.a = value;
+  emit(std::move(ins));
+}
+
+void FunctionBuilder::while_(const std::function<Reg()>& cond,
+                             const std::function<void()>& body) {
+  BasicBlock* head = new_block("while.head");
+  BasicBlock* body_bb = new_block("while.body");
+  BasicBlock* exit_bb = new_block("while.exit");
+  br(head);
+  set_insert(head);
+  const Reg c = cond();
+  cond_br(c, body_bb, exit_bb);
+  set_insert(body_bb);
+  body();
+  if (!cur_->has_terminator()) br(head);
+  set_insert(exit_bb);
+}
+
+void FunctionBuilder::if_(Reg cond, const std::function<void()>& then_fn) {
+  BasicBlock* then_bb = new_block("if.then");
+  BasicBlock* cont = new_block("if.cont");
+  cond_br(cond, then_bb, cont);
+  set_insert(then_bb);
+  then_fn();
+  if (!cur_->has_terminator()) br(cont);
+  set_insert(cont);
+}
+
+void FunctionBuilder::if_else(Reg cond, const std::function<void()>& then_fn,
+                              const std::function<void()>& else_fn) {
+  BasicBlock* then_bb = new_block("if.then");
+  BasicBlock* else_bb = new_block("if.else");
+  BasicBlock* cont = new_block("if.cont");
+  cond_br(cond, then_bb, else_bb);
+  set_insert(then_bb);
+  then_fn();
+  if (!cur_->has_terminator()) br(cont);
+  set_insert(else_bb);
+  else_fn();
+  if (!cur_->has_terminator()) br(cont);
+  set_insert(cont);
+}
+
+FunctionBuilder::Loop FunctionBuilder::loop_begin() {
+  Loop l{new_block("loop.head"), new_block("loop.exit")};
+  br(l.head);
+  set_insert(l.head);
+  return l;
+}
+
+void FunctionBuilder::loop_break_if(const Loop& l, Reg cond) {
+  BasicBlock* cont = new_block("loop.cont");
+  cond_br(cond, l.exit, cont);
+  set_insert(cont);
+}
+
+void FunctionBuilder::loop_continue(const Loop& l) { br(l.head); }
+
+void FunctionBuilder::loop_end(const Loop& l) {
+  if (!cur_->has_terminator()) br(l.head);
+  set_insert(l.exit);
+}
+
+}  // namespace st::ir

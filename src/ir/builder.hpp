@@ -1,0 +1,105 @@
+// Convenience builder (embedded DSL) for constructing TxIR functions.
+//
+// Registers are assignable, so loop-carried variables are ordinary registers
+// updated with assign(). Structured-control helpers (if_/while_) keep
+// workload code close to the C sources they transcribe.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+
+#include "ir/module.hpp"
+
+namespace st::ir {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module& m, std::string name,
+                  std::vector<const StructType*> param_pointees);
+
+  Function* function() { return f_; }
+  Module& module() { return m_; }
+
+  // --- values ---
+  Reg param(unsigned i) { return f_->param_reg(i); }
+  Reg const_i(std::int64_t v);
+  Reg binop(Op op, Reg a, Reg b);
+  Reg add(Reg a, Reg b) { return binop(Op::Add, a, b); }
+  Reg sub(Reg a, Reg b) { return binop(Op::Sub, a, b); }
+  Reg mul(Reg a, Reg b) { return binop(Op::Mul, a, b); }
+  Reg sdiv(Reg a, Reg b) { return binop(Op::SDiv, a, b); }
+  Reg srem(Reg a, Reg b) { return binop(Op::SRem, a, b); }
+  Reg and_(Reg a, Reg b) { return binop(Op::And, a, b); }
+  Reg or_(Reg a, Reg b) { return binop(Op::Or, a, b); }
+  Reg xor_(Reg a, Reg b) { return binop(Op::Xor, a, b); }
+  Reg shl(Reg a, Reg b) { return binop(Op::Shl, a, b); }
+  Reg lshr(Reg a, Reg b) { return binop(Op::LShr, a, b); }
+  Reg cmp_eq(Reg a, Reg b) { return binop(Op::CmpEq, a, b); }
+  Reg cmp_ne(Reg a, Reg b) { return binop(Op::CmpNe, a, b); }
+  Reg cmp_slt(Reg a, Reg b) { return binop(Op::CmpSLt, a, b); }
+  Reg cmp_sle(Reg a, Reg b) { return binop(Op::CmpSLe, a, b); }
+  Reg cmp_sgt(Reg a, Reg b) { return binop(Op::CmpSGt, a, b); }
+  Reg cmp_sge(Reg a, Reg b) { return binop(Op::CmpSGe, a, b); }
+  Reg cmp_ult(Reg a, Reg b) { return binop(Op::CmpULt, a, b); }
+
+  /// Declares a mutable variable initialized to `init`.
+  Reg var(Reg init);
+  /// Assigns an existing register (loop-carried updates).
+  void assign(Reg dst, Reg src);
+
+  // --- addressing & memory ---
+  Reg gep(Reg base, const StructType* t, std::string_view field);
+  Reg gep_index(Reg base, const StructType* array_t, Reg index);
+  Reg load(Reg addr, std::uint8_t size, const StructType* pointee = nullptr);
+  void store(Reg addr, Reg value, std::uint8_t size);
+  Reg nt_load(Reg addr, std::uint8_t size);
+  void nt_store(Reg addr, Reg value, std::uint8_t size);
+  /// gep + load/store with size and pointee inferred from the field.
+  Reg load_field(Reg obj, const StructType* t, std::string_view field);
+  void store_field(Reg obj, const StructType* t, std::string_view field,
+                   Reg value);
+  /// gep_index + load/store of one array element.
+  Reg load_elem(Reg arr, const StructType* array_t, Reg index);
+  void store_elem(Reg arr, const StructType* array_t, Reg index, Reg value);
+
+  Reg alloc(const StructType* t);
+  void free_(Reg addr);
+
+  // --- control flow ---
+  BasicBlock* new_block(std::string name);
+  BasicBlock* insert_block() { return cur_; }
+  void set_insert(BasicBlock* bb) { cur_ = bb; }
+  void br(BasicBlock* target);
+  void cond_br(Reg cond, BasicBlock* then_bb, BasicBlock* else_bb);
+  Reg call(Function* callee, std::initializer_list<Reg> args);
+  Reg call(Function* callee, const std::vector<Reg>& args);
+  void ret(Reg value = kNoReg);
+
+  /// while (cond()) { body(); } — cond is rebuilt at the loop head each
+  /// iteration and must return the condition register.
+  void while_(const std::function<Reg()>& cond,
+              const std::function<void()>& body);
+  void if_(Reg cond, const std::function<void()>& then_fn);
+  void if_else(Reg cond, const std::function<void()>& then_fn,
+               const std::function<void()>& else_fn);
+  /// Infinite loop with a break condition evaluated by the body via
+  /// break_if; used rarely, prefer while_.
+  struct Loop {
+    BasicBlock* head;
+    BasicBlock* exit;
+  };
+  Loop loop_begin();
+  void loop_break_if(const Loop& l, Reg cond);
+  void loop_continue(const Loop& l);
+  void loop_end(const Loop& l);
+
+ private:
+  Instr& emit(Instr ins);
+
+  Module& m_;
+  Function* f_;
+  BasicBlock* cur_;
+  unsigned next_name_ = 0;
+};
+
+}  // namespace st::ir

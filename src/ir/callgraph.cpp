@@ -1,0 +1,98 @@
+#include "ir/callgraph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace st::ir {
+
+CallGraph::CallGraph(const Module& m) : m_(m) {
+  for (const auto& f : m.functions()) {
+    auto& out = callees_[f.get()];
+    std::unordered_set<const Function*> seen;
+    for (const auto& b : f->blocks())
+      for (const auto& ins : b->instrs())
+        if (ins.op == Op::Call && seen.insert(ins.callee).second)
+          out.push_back(ins.callee);
+  }
+  // Cycle detection via coloring.
+  std::unordered_map<const Function*, int> color;  // 0 white 1 grey 2 black
+  for (const auto& f : m.functions()) {
+    if (color[f.get()] != 0) continue;
+    std::vector<std::pair<const Function*, std::size_t>> stack{{f.get(), 0}};
+    color[f.get()] = 1;
+    while (!stack.empty()) {
+      auto& [fn, i] = stack.back();
+      const auto& cs = callees_[fn];
+      if (i < cs.size()) {
+        const Function* c = cs[i++];
+        const int col = color[c];
+        if (col == 1) has_cycle_ = true;
+        if (col == 0) {
+          color[c] = 1;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        color[fn] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+const std::vector<const Function*>& CallGraph::callees(
+    const Function* f) const {
+  auto it = callees_.find(f);
+  return it == callees_.end() ? empty_ : it->second;
+}
+
+std::vector<const Instr*> CallGraph::call_sites(const Function* f) const {
+  std::vector<const Instr*> out;
+  for (const auto& b : f->blocks())
+    for (const auto& ins : b->instrs())
+      if (ins.op == Op::Call) out.push_back(&ins);
+  return out;
+}
+
+std::vector<const Function*> CallGraph::reachable_from(
+    const Function* root) const {
+  std::vector<const Function*> out;
+  std::unordered_set<const Function*> seen{root};
+  std::vector<const Function*> stack{root};
+  while (!stack.empty()) {
+    const Function* f = stack.back();
+    stack.pop_back();
+    out.push_back(f);
+    for (const Function* c : callees(f))
+      if (seen.insert(c).second) stack.push_back(c);
+  }
+  return out;
+}
+
+std::vector<const Function*> CallGraph::bottom_up_order() const {
+  ST_CHECK_MSG(!has_cycle_, "recursive atomic blocks are not supported");
+  std::vector<const Function*> out;
+  std::unordered_set<const Function*> done;
+  // Repeated passes: emit any function whose callees are all emitted.
+  // O(n^2) worst case but module sizes are tiny.
+  const std::size_t total = m_.functions().size();
+  while (out.size() < total) {
+    bool progressed = false;
+    for (const auto& f : m_.functions()) {
+      if (done.count(f.get())) continue;
+      const auto& cs = callees(f.get());
+      const bool ready = std::all_of(cs.begin(), cs.end(), [&](auto* c) {
+        return done.count(c) != 0;
+      });
+      if (ready) {
+        out.push_back(f.get());
+        done.insert(f.get());
+        progressed = true;
+      }
+    }
+    ST_CHECK_MSG(progressed, "call graph cycle");
+  }
+  return out;
+}
+
+}  // namespace st::ir

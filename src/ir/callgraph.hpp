@@ -1,0 +1,41 @@
+// Call graph over TxIR functions.
+//
+// DSA's bottom-up stage and the unified-anchor-table pass both walk callees
+// before callers; atomic blocks are required to be recursion-free (as the
+// paper's benchmarks are), which is validated here.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace st::ir {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Module& m);
+
+  const std::vector<const Function*>& callees(const Function* f) const;
+
+  /// All call instructions in f, in layout order.
+  std::vector<const Instr*> call_sites(const Function* f) const;
+
+  /// Functions reachable from `root` (including root).
+  std::vector<const Function*> reachable_from(const Function* root) const;
+
+  /// Bottom-up order (callees before callers) of the whole module.
+  /// Aborts on recursion.
+  std::vector<const Function*> bottom_up_order() const;
+
+  bool has_cycle() const { return has_cycle_; }
+
+ private:
+  const Module& m_;
+  std::unordered_map<const Function*, std::vector<const Function*>> callees_;
+  std::vector<const Function*> empty_;
+  bool has_cycle_ = false;
+};
+
+}  // namespace st::ir

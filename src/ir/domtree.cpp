@@ -1,0 +1,118 @@
+#include "ir/domtree.hpp"
+
+#include "common/check.hpp"
+
+namespace st::ir {
+
+DomTree::DomTree(const Function& f) : f_(f) {
+  const auto& rpo_mut = f.rpo();
+  rpo_.assign(rpo_mut.begin(), rpo_mut.end());
+  const int n = static_cast<int>(rpo_.size());
+  for (int i = 0; i < n; ++i) index_[rpo_[i]] = i;
+  nodes_.resize(n);
+  for (int i = 0; i < n; ++i) nodes_[i].bb = rpo_[i];
+  if (n == 0) return;
+
+  // Predecessor lists over reachable blocks.
+  std::vector<std::vector<int>> preds(n);
+  for (int i = 0; i < n; ++i)
+    for (BasicBlock* s : rpo_[i]->successors()) {
+      auto it = index_.find(s);
+      ST_CHECK(it != index_.end());
+      preds[it->second].push_back(i);
+    }
+
+  // Cooper–Harvey–Kennedy: iterate to fixpoint over RPO.
+  std::vector<int> idom(n, -1);
+  idom[0] = 0;
+  auto intersect = [&](int b1, int b2) {
+    while (b1 != b2) {
+      while (b1 > b2) b1 = idom[b1];
+      while (b2 > b1) b2 = idom[b2];
+    }
+    return b1;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 1; i < n; ++i) {
+      int new_idom = -1;
+      for (int p : preds[i]) {
+        if (idom[p] < 0) continue;
+        new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+      }
+      ST_CHECK_MSG(new_idom >= 0, "reachable block with no processed pred");
+      if (idom[i] != new_idom) {
+        idom[i] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    nodes_[i].idom = (i == 0) ? -1 : idom[i];
+    if (i != 0) nodes_[idom[i]].children.push_back(rpo_[i]);
+  }
+
+  // Preorder intervals for O(1) dominance queries.
+  unsigned timer = 0;
+  std::vector<std::pair<int, std::size_t>> stack{{0, 0}};
+  nodes_[0].tin = ++timer;
+  while (!stack.empty()) {
+    auto& [i, ci] = stack.back();
+    if (ci < nodes_[i].children.size()) {
+      const int child = index_of(nodes_[i].children[ci++]);
+      nodes_[child].tin = ++timer;
+      stack.emplace_back(child, 0);
+    } else {
+      nodes_[i].tout = ++timer;
+      stack.pop_back();
+    }
+  }
+}
+
+int DomTree::index_of(const BasicBlock* b) const {
+  auto it = index_.find(b);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const BasicBlock* DomTree::idom(const BasicBlock* b) const {
+  const int i = index_of(b);
+  if (i < 0 || nodes_[i].idom < 0) return nullptr;
+  return nodes_[nodes_[i].idom].bb;
+}
+
+bool DomTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  const int ia = index_of(a), ib = index_of(b);
+  if (ia < 0 || ib < 0) return false;
+  return nodes_[ia].tin <= nodes_[ib].tin && nodes_[ib].tout <= nodes_[ia].tout;
+}
+
+bool DomTree::dominates(const BasicBlock* a_bb, std::size_t ai,
+                        const BasicBlock* b_bb, std::size_t bi) const {
+  if (a_bb == b_bb) return ai <= bi;
+  return dominates(a_bb, b_bb);
+}
+
+const std::vector<const BasicBlock*>& DomTree::children(
+    const BasicBlock* b) const {
+  const int i = index_of(b);
+  return i < 0 ? no_children_ : nodes_[i].children;
+}
+
+std::vector<const BasicBlock*> DomTree::dfs_preorder() const {
+  std::vector<const BasicBlock*> out;
+  if (nodes_.empty()) return out;
+  std::vector<const BasicBlock*> stack{nodes_[0].bb};
+  while (!stack.empty()) {
+    const BasicBlock* b = stack.back();
+    stack.pop_back();
+    out.push_back(b);
+    const auto& ch = children(b);
+    // Push in reverse so the first child is visited first.
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace st::ir

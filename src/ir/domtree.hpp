@@ -1,0 +1,56 @@
+// Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+//
+// Algorithm 1 of the paper classifies loads/stores as anchors by a
+// depth-first walk of the dominator tree; the anchor pass also needs an
+// instruction-level dominance query.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace st::ir {
+
+class DomTree {
+ public:
+  explicit DomTree(const Function& f);
+
+  /// Immediate dominator (null for the entry block / unreachable blocks).
+  const BasicBlock* idom(const BasicBlock* b) const;
+
+  /// Block-level dominance (a block dominates itself). Unreachable blocks
+  /// dominate nothing and are dominated by nothing.
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  /// Instruction-level dominance: true when `a` executes before `b` on every
+  /// path reaching `b` (same block: program order; otherwise block
+  /// dominance). `ai`/`bi` are the indices of the instructions within their
+  /// blocks.
+  bool dominates(const BasicBlock* a_bb, std::size_t ai,
+                 const BasicBlock* b_bb, std::size_t bi) const;
+
+  /// Children in the dominator tree (for DFS traversals).
+  const std::vector<const BasicBlock*>& children(const BasicBlock* b) const;
+
+  /// Dominator-tree preorder starting at the entry.
+  std::vector<const BasicBlock*> dfs_preorder() const;
+
+ private:
+  struct Node {
+    const BasicBlock* bb = nullptr;
+    int idom = -1;            // index into rpo order
+    std::vector<const BasicBlock*> children;
+    // Preorder interval for O(1) dominance queries.
+    unsigned tin = 0, tout = 0;
+  };
+  int index_of(const BasicBlock* b) const;
+
+  const Function& f_;
+  std::vector<const BasicBlock*> rpo_;
+  std::unordered_map<const BasicBlock*, int> index_;
+  std::vector<Node> nodes_;
+  std::vector<const BasicBlock*> no_children_;
+};
+
+}  // namespace st::ir

@@ -1,0 +1,96 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace st::ir {
+
+namespace {
+std::string reg_name(Reg r) {
+  return r == kNoReg ? std::string("_") : "%" + std::to_string(r);
+}
+}  // namespace
+
+std::string print_instr(const Instr& ins) {
+  std::ostringstream os;
+  if (ins.dst != kNoReg) os << reg_name(ins.dst) << " = ";
+  os << op_name(ins.op);
+  switch (ins.op) {
+    case Op::ConstI:
+      os << " " << ins.imm;
+      break;
+    case Op::Gep:
+      os << " " << reg_name(ins.a) << ", " << ins.type->name << "."
+         << ins.type->fields[ins.field].name;
+      break;
+    case Op::GepIndex:
+      os << " " << reg_name(ins.a) << "[" << reg_name(ins.b) << "] x"
+         << ins.imm;
+      break;
+    case Op::Load:
+    case Op::NtLoad:
+      os << unsigned(ins.acc_size) << " [" << reg_name(ins.a) << "]";
+      if (ins.type) os << " ; ->" << ins.type->name;
+      break;
+    case Op::Store:
+    case Op::NtStore:
+      os << unsigned(ins.acc_size) << " [" << reg_name(ins.a) << "], "
+         << reg_name(ins.b);
+      break;
+    case Op::Alloc:
+      os << " " << ins.type->name;
+      break;
+    case Op::Br:
+      os << " " << ins.t1->name();
+      break;
+    case Op::CondBr:
+      os << " " << reg_name(ins.a) << ", " << ins.t1->name() << ", "
+         << ins.t2->name();
+      break;
+    case Op::Call: {
+      os << " @" << ins.callee->name() << "(";
+      for (std::size_t i = 0; i < ins.args.size(); ++i)
+        os << (i ? ", " : "") << reg_name(ins.args[i]);
+      os << ")";
+      break;
+    }
+    case Op::Ret:
+      if (ins.a != kNoReg) os << " " << reg_name(ins.a);
+      break;
+    case Op::AlPoint:
+      os << " #" << ins.alp_id << ", " << reg_name(ins.a);
+      break;
+    case Op::Free:
+      os << " [" << reg_name(ins.a) << "]";
+      break;
+    default:
+      if (ins.a != kNoReg) os << " " << reg_name(ins.a);
+      if (ins.b != kNoReg) os << ", " << reg_name(ins.b);
+      break;
+  }
+  if (ins.pc != 0) os << "  ; pc=" << ins.pc;
+  return os.str();
+}
+
+std::string print_function(const Function& f) {
+  std::ostringstream os;
+  os << "func @" << f.name() << "(";
+  for (unsigned i = 0; i < f.num_params(); ++i) {
+    os << (i ? ", " : "") << "%" << i;
+    if (const StructType* p = f.param_pointee(i)) os << ": *" << p->name;
+  }
+  os << ") {\n";
+  for (const auto& b : f.blocks()) {
+    os << b->name() << ":\n";
+    for (const auto& ins : b->instrs()) os << "  " << print_instr(ins) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print_module(const Module& m) {
+  std::ostringstream os;
+  for (const auto& f : m.functions()) os << print_function(*f) << "\n";
+  return os.str();
+}
+
+}  // namespace st::ir

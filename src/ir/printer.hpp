@@ -1,0 +1,14 @@
+// Textual dump of TxIR, for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace st::ir {
+
+std::string print_instr(const Instr& ins);
+std::string print_function(const Function& f);
+std::string print_module(const Module& m);
+
+}  // namespace st::ir

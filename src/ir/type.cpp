@@ -1,0 +1,49 @@
+#include "ir/type.hpp"
+
+#include "common/check.hpp"
+
+namespace st::ir {
+
+unsigned StructType::field_index(std::string_view fname) const {
+  for (unsigned i = 0; i < fields.size(); ++i)
+    if (fields[i].name == fname) return i;
+  ST_CHECK_MSG(false, "unknown struct field");
+  return 0;
+}
+
+const Field& StructType::field(unsigned idx) const {
+  ST_CHECK(idx < fields.size());
+  return fields[idx];
+}
+
+StructType make_struct(std::string name, std::vector<Field> fields) {
+  StructType t;
+  t.name = std::move(name);
+  unsigned off = 0;
+  for (auto& f : fields) {
+    ST_CHECK(f.size == 1 || f.size == 2 || f.size == 4 || f.size == 8);
+    off = (off + (f.size - 1)) & ~static_cast<unsigned>(f.size - 1);
+    f.offset = off;
+    off += f.size;
+  }
+  t.fields = std::move(fields);
+  t.size = (off + 7u) & ~7u;
+  if (t.size == 0) t.size = 8;
+  return t;
+}
+
+StructType make_array(std::string name, unsigned elem_size, unsigned count,
+                      const StructType* elem_pointee) {
+  ST_CHECK(elem_size == 1 || elem_size == 2 || elem_size == 4 || elem_size == 8);
+  ST_CHECK(count > 0);
+  StructType t;
+  t.name = std::move(name);
+  t.is_array = true;
+  t.elem_size = elem_size;
+  t.elem_count = count;
+  t.elem_pointee = elem_pointee;
+  t.size = elem_size * count;
+  return t;
+}
+
+}  // namespace st::ir

@@ -1,0 +1,54 @@
+// TxIR type system: C-like structs with named fields, where pointer-typed
+// fields carry their pointee type. This is exactly the information Data
+// Structure Analysis needs for field-sensitive points-to graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace st::ir {
+
+struct StructType;
+
+struct Field {
+  std::string name;
+  unsigned offset = 0;  // byte offset within the struct
+  std::uint8_t size = 8;
+  /// Non-null when the field holds a pointer to a struct (possibly itself).
+  const StructType* pointee = nullptr;
+};
+
+/// A program-level object type: either a record with named fields or an
+/// array of homogeneous elements (arrays are field-insensitive in DSA, so a
+/// single sentinel field index represents "some element").
+struct StructType {
+  std::string name;
+  std::vector<Field> fields;
+  unsigned size = 0;  // total bytes (padded to 8)
+
+  bool is_array = false;
+  unsigned elem_size = 0;
+  const StructType* elem_pointee = nullptr;
+  unsigned elem_count = 0;
+
+  /// Field index used by GepIndex (array element access) in anchor tables
+  /// and DSA edges.
+  static constexpr unsigned kArrayField = 0xFFFF;
+
+  unsigned field_index(std::string_view fname) const;
+  const Field& field(unsigned idx) const;
+};
+
+/// Builder helper: define a record type. Offsets are assigned sequentially
+/// with natural alignment.
+StructType make_struct(std::string name,
+                       std::vector<Field> fields_without_offsets);
+
+/// Builder helper: define an array type of `count` elements of `elem_size`
+/// bytes; `elem_pointee` is non-null when elements are pointers to structs.
+StructType make_array(std::string name, unsigned elem_size,
+                      unsigned count, const StructType* elem_pointee);
+
+}  // namespace st::ir

@@ -1,0 +1,100 @@
+#include "ir/verifier.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+namespace st::ir {
+
+namespace {
+bool valid_size(std::uint8_t s) {
+  return s == 1 || s == 2 || s == 4 || s == 8;
+}
+}  // namespace
+
+std::vector<std::string> verify_function(const Function& f) {
+  std::vector<std::string> errs;
+  auto err = [&](const std::string& s) { errs.push_back(f.name() + ": " + s); };
+
+  if (f.blocks().empty()) {
+    err("function has no blocks");
+    return errs;
+  }
+  std::unordered_set<const BasicBlock*> owned;
+  for (const auto& b : f.blocks()) owned.insert(b.get());
+
+  const unsigned nregs = f.num_regs();
+  for (const auto& b : f.blocks()) {
+    if (!b->has_terminator()) err("block " + b->name() + " lacks a terminator");
+    const auto& ins = b->instrs();
+    for (auto it = ins.begin(); it != ins.end(); ++it) {
+      const Instr& x = *it;
+      if (x.is_terminator() && std::next(it) != ins.end())
+        err("terminator mid-block in " + b->name());
+      auto reg_ok = [&](Reg r) { return r == kNoReg || r < nregs; };
+      if (!reg_ok(x.dst) || !reg_ok(x.a) || !reg_ok(x.b))
+        err("register out of range in " + b->name());
+      switch (x.op) {
+        case Op::Br:
+          if (!x.t1 || !owned.count(x.t1)) err("br to foreign block");
+          break;
+        case Op::CondBr:
+          if (!x.t1 || !x.t2 || !owned.count(x.t1) || !owned.count(x.t2))
+            err("cond_br to foreign block");
+          if (x.a == kNoReg) err("cond_br without condition");
+          break;
+        case Op::Call:
+          if (!x.callee)
+            err("call without callee");
+          else if (x.args.size() != x.callee->num_params())
+            err("call arity mismatch to " + x.callee->name());
+          for (Reg r : x.args)
+            if (r >= nregs) err("call argument register out of range");
+          break;
+        case Op::Load:
+        case Op::NtLoad:
+          if (!valid_size(x.acc_size)) err("bad load size");
+          if (x.a == kNoReg || x.dst == kNoReg) err("malformed load");
+          break;
+        case Op::Store:
+        case Op::NtStore:
+          if (!valid_size(x.acc_size)) err("bad store size");
+          if (x.a == kNoReg || x.b == kNoReg) err("malformed store");
+          break;
+        case Op::Gep:
+          if (!x.type || x.type->is_array || x.field >= x.type->fields.size())
+            err("malformed gep");
+          break;
+        case Op::GepIndex:
+          if (!x.type || !x.type->is_array) err("malformed gep.idx");
+          break;
+        case Op::Alloc:
+          if (!x.type || x.dst == kNoReg) err("malformed alloc");
+          break;
+        case Op::AlPoint:
+          if (x.a == kNoReg) err("alpoint without data address");
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return errs;
+}
+
+std::vector<std::string> verify_module(const Module& m) {
+  std::vector<std::string> errs;
+  for (const auto& f : m.functions()) {
+    auto e = verify_function(*f);
+    errs.insert(errs.end(), e.begin(), e.end());
+  }
+  return errs;
+}
+
+void verify_or_die(const Module& m) {
+  const auto errs = verify_module(m);
+  if (errs.empty()) return;
+  for (const auto& e : errs) std::fprintf(stderr, "IR verify: %s\n", e.c_str());
+  std::abort();
+}
+
+}  // namespace st::ir

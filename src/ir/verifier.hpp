@@ -1,0 +1,18 @@
+// Structural well-formedness checks for TxIR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace st::ir {
+
+/// Returns the list of problems found (empty = valid).
+std::vector<std::string> verify_function(const Function& f);
+std::vector<std::string> verify_module(const Module& m);
+
+/// Aborts the process with diagnostics if the module is malformed.
+void verify_or_die(const Module& m);
+
+}  // namespace st::ir

@@ -1,0 +1,375 @@
+#include "runtime/tx_executor.hpp"
+
+#include "common/check.hpp"
+
+namespace st::runtime {
+
+using htm::AbortCause;
+using interp::ExecEnv;
+using interp::Interp;
+
+// ---------------------------------------------------------------------------
+// Speculative environment: transactional accesses + live ALPoints.
+// ---------------------------------------------------------------------------
+class TxExecutor::SpecEnv final : public ExecEnv {
+ public:
+  explicit SpecEnv(TxExecutor& e) : e_(e) {}
+
+  Mem load(sim::Addr a, unsigned size, std::uint32_t pc) override {
+    const auto r = e_.sys_.htm().load(e_.core_, a, size, pc);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem store(sim::Addr a, std::uint64_t v, unsigned size,
+            std::uint32_t pc) override {
+    const auto r = e_.sys_.htm().store(e_.core_, a, v, size, pc);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem nt_load(sim::Addr a, unsigned size) override {
+    const auto r = e_.sys_.htm().nontx_load(e_.core_, a, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) override {
+    const auto r = e_.sys_.htm().nontx_store(e_.core_, a, v, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem alloc(const ir::StructType* t, sim::Addr& out) override {
+    out = e_.sys_.htm().tx_alloc(e_.core_, t->size);
+    return Mem{out, Interp::kAllocCost, true};
+  }
+  void free_(sim::Addr a) override { e_.sys_.htm().tx_free(e_.core_, a); }
+
+  AlpResult alpoint(std::uint32_t alp_id, sim::Addr data_addr,
+                    std::uint32_t pc) override {
+    (void)pc;
+    TxExecutor& e = e_;
+    auto& st = e.sys_.stats().core(e.core_);
+    stagger::ABContext& ctx = *e.ctx_;
+    sim::Cycle cost = Interp::kInactiveAlpCost;
+
+    if (!e.spinning_on_alp_) {
+      ++st.alp_executed;
+      if (e.sys_.config().scheme == Scheme::kStaggeredSW)
+        cost += e.sys_.cpc().record(e.core_, data_addr, alp_id);
+      // Fig. 5: fire only when this ALP is the active anchor and the data
+      // address matches the remembered conflict address (or wildcard).
+      if (ctx.active_anchor != alp_id) return {cost, false, true};
+      sim::Addr target = data_addr != 0 ? data_addr : ctx.block_address;
+      if (ctx.block_address != 0 && target != 0 &&
+          sim::line_addr(target) != sim::line_addr(ctx.block_address))
+        return {cost, false, true};
+      if (target == 0) {  // nothing concrete to lock yet
+        ctx.active_anchor = 0;
+        return {cost, false, true};
+      }
+      e.alp_target_ = target;
+      e.lock_wait_accum_ = 0;
+    }
+
+    if (e.sys_.htm().pending_abort(e.core_)) {
+      e.spinning_on_alp_ = false;
+      return {cost, false, false};
+    }
+    const auto r = e.sys_.locks().try_acquire(e.core_, e.alp_target_);
+    if (r.acquired) {
+      ctx.active_anchor = 0;  // one lock per transaction (Fig. 5 line 4)
+      ++st.alp_acquires;
+      e.spinning_on_alp_ = false;
+      return {cost + r.latency, false, true};
+    }
+    e.lock_wait_accum_ += r.latency + kSpinPad;
+    if (e.lock_wait_accum_ > e.sys_.config().lock_timeout) {
+      // Give up and run unprotected (§2: "simply proceed when the timeout
+      // expires"); correctness stays with the HTM.
+      ++st.alp_timeouts;
+      ctx.active_anchor = 0;
+      e.spinning_on_alp_ = false;
+      e.sys_.policy().on_lock_timeout(ctx);
+      return {cost + r.latency, false, true};
+    }
+    e.spinning_on_alp_ = true;
+    e.last_step_lock_wait_ = true;
+    return {r.latency + kSpinPad, true, true};
+  }
+
+ private:
+  TxExecutor& e_;
+};
+
+// ---------------------------------------------------------------------------
+// Plain environment: irrevocable execution under the global lock.
+// ---------------------------------------------------------------------------
+class TxExecutor::PlainEnv final : public ExecEnv {
+ public:
+  explicit PlainEnv(TxExecutor& e) : e_(e) {}
+
+  Mem load(sim::Addr a, unsigned size, std::uint32_t pc) override {
+    (void)pc;
+    const auto r = e_.sys_.htm().plain_load(e_.core_, a, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem store(sim::Addr a, std::uint64_t v, unsigned size,
+            std::uint32_t pc) override {
+    (void)pc;
+    const auto r = e_.sys_.htm().plain_store(e_.core_, a, v, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem nt_load(sim::Addr a, unsigned size) override {
+    const auto r = e_.sys_.htm().nontx_load(e_.core_, a, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) override {
+    const auto r = e_.sys_.htm().nontx_store(e_.core_, a, v, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem alloc(const ir::StructType* t, sim::Addr& out) override {
+    out = e_.sys_.htm().tx_alloc(e_.core_, t->size);
+    return Mem{out, Interp::kAllocCost, true};
+  }
+  void free_(sim::Addr a) override { e_.sys_.htm().tx_free(e_.core_, a); }
+
+  AlpResult alpoint(std::uint32_t, sim::Addr, std::uint32_t) override {
+    return {Interp::kInactiveAlpCost, false, true};  // ALPs idle when serial
+  }
+
+ private:
+  TxExecutor& e_;
+};
+
+// ---------------------------------------------------------------------------
+
+TxExecutor::TxExecutor(TxSystem& sys, sim::CoreId core)
+    : sys_(sys), core_(core) {
+  spec_env_ = std::make_unique<SpecEnv>(*this);
+  plain_env_ = std::make_unique<PlainEnv>(*this);
+  spec_interp_ = std::make_unique<Interp>(*spec_env_);
+  plain_interp_ = std::make_unique<Interp>(*plain_env_);
+}
+
+TxExecutor::~TxExecutor() = default;
+
+void TxExecutor::start(unsigned ab_id, std::vector<std::uint64_t> args) {
+  ST_CHECK_MSG(state_ == State::kIdle, "executor already busy");
+  ab_id_ = ab_id;
+  func_ = sys_.program().module->atomic_blocks().at(ab_id);
+  args_ = std::move(args);
+  ctx_ = &sys_.abctx(core_, ab_id);
+  attempts_ = 0;
+  lock_wait_accum_ = 0;
+  state_ = State::kBeginAttempt;
+}
+
+std::uint64_t TxExecutor::take_result() {
+  ST_CHECK(state_ == State::kFinished);
+  state_ = State::kIdle;
+  return result_;
+}
+
+sim::Cycle TxExecutor::step() {
+  switch (state_) {
+    case State::kBeginAttempt: return begin_attempt();
+    case State::kRunning: return run_step();
+    case State::kGlockAcquire: return glock_step();
+    case State::kIrrevRunning: return irrev_step();
+    default:
+      ST_CHECK_MSG(false, "step() on an idle/finished executor");
+      return 1;
+  }
+}
+
+sim::Addr TxExecutor::sched_lock_key() const {
+  return sys_.glock_addr() + sim::kLineBytes * (ab_id_ + 1);
+}
+
+sim::Cycle TxExecutor::begin_attempt() {
+  // Proactive transaction scheduling (§7 baseline): when the predictor for
+  // this atomic block fired, serialize the WHOLE transaction behind a lock
+  // acquired before xbegin — no partial overlap.
+  if (sys_.config().scheme == Scheme::kTxSched && attempts_ == 0) {
+    stagger::ABContext& ctx = sys_.abctx(core_, ab_id_);
+    if (ctx.configured_anchor != 0 && !sys_.locks().holds_lock(core_)) {
+      const auto r = sys_.locks().try_acquire(core_, sched_lock_key());
+      if (!r.acquired) {
+        lock_wait_accum_ += r.latency + kSpinPad;
+        auto& st = sys_.stats().core(core_);
+        if (lock_wait_accum_ > sys_.config().lock_timeout) {
+          ++st.alp_timeouts;
+          sys_.policy().on_lock_timeout(ctx);
+          lock_wait_accum_ = 0;  // proceed unprotected
+        } else {
+          st.cycles_lock_wait += r.latency + kSpinPad;
+          return r.latency + kSpinPad;  // keep spinning in this state
+        }
+      } else {
+        ++sys_.stats().core(core_).alp_acquires;
+      }
+    }
+  }
+  ++attempts_;
+  attempt_cycles_ = 0;
+  lock_wait_accum_ = 0;
+  spinning_on_alp_ = false;
+  ctx_->arm();
+  if (sys_.config().scheme == Scheme::kStaggeredSW)
+    sys_.cpc().begin_tx(core_);
+  sys_.htm().begin(core_);
+  spec_interp_->start(func_, args_);
+  state_ = State::kRunning;
+  attempt_cycles_ += kBeginCost;
+  return kBeginCost;
+}
+
+sim::Cycle TxExecutor::run_step() {
+  if (sys_.htm().pending_abort(core_)) return handle_abort(AbortCause::None);
+  last_step_lock_wait_ = false;
+  const auto s = spec_interp_->step();
+  if (s.aborted) {
+    // The instruction observed the transaction's death; its cycles are part
+    // of the doomed attempt.
+    attempt_cycles_ += s.cycles;
+    return s.cycles + handle_abort(AbortCause::None);
+  }
+  if (last_step_lock_wait_)
+    sys_.stats().core(core_).cycles_lock_wait += s.cycles;
+  else
+    attempt_cycles_ += s.cycles;
+  if (s.finished) return s.cycles + commit_sequence();
+  return s.cycles;
+}
+
+sim::Cycle TxExecutor::commit_sequence() {
+  sim::Cycle cost = 0;
+  // Lazy subscription: read the global fallback lock transactionally right
+  // before commit (§6 "Compiler and HTM Runtime").
+  const auto sub = sys_.htm().load(core_, sys_.glock_addr(), 8, 0);
+  cost += sub.latency;
+  attempt_cycles_ += sub.latency;
+  if (!sub.ok) return cost + handle_abort(AbortCause::None);
+  if (sub.value != 0) return cost + handle_abort(AbortCause::Glock);
+
+  const bool held = sys_.locks().holds_lock(core_);
+  // "No contention on that lock" (§5.2): nobody queued on the lock AND the
+  // transaction needed no retries — evidence the serialization was not
+  // earning its keep, so the policy may decay the activation.
+  const bool contended =
+      sys_.locks().contended_while_held(core_) && attempts_ > 1;
+  sim::Cycle publish = 0;
+  if (!sys_.htm().commit(core_, &publish))
+    return cost + handle_abort(AbortCause::None);
+
+  cost += kCommitCost + publish;
+  attempt_cycles_ += kCommitCost + publish;
+  cost += sys_.locks().release(core_);
+  if (sys_.config().scheme != Scheme::kBaseline)
+    sys_.policy().on_commit(*ctx_, held, contended, attempts_ == 1);
+
+  auto& st = sys_.stats().core(core_);
+  st.cycles_useful_tx += attempt_cycles_;
+  st.tx_instrs += spec_interp_->instrs_executed();
+  result_ = spec_interp_->result();
+  state_ = State::kFinished;
+  return cost;
+}
+
+void TxExecutor::resolve_and_train(const htm::AbortInfo& info) {
+  const Scheme scheme = sys_.config().scheme;
+  if (scheme == Scheme::kBaseline) return;
+  auto& st = sys_.stats().core(core_);
+  const stagger::UnifiedAnchorTable& table = *ctx_->table();
+
+  std::uint32_t identified = 0;
+  switch (scheme) {
+    case Scheme::kStaggered: {
+      // Hardware conflicting-PC: the (truncated) tag indexes the unified
+      // anchor table; non-anchors resolve through their pioneer.
+      if (info.pc_tag_valid)
+        if (const auto* e = table.lookup_tag(info.pc_tag))
+          identified = e->pioneer_alp;
+      break;
+    }
+    case Scheme::kStaggeredSW: {
+      identified =
+          sys_.cpc().lookup(core_, info.conflict_line).value_or(0);
+      break;
+    }
+    case Scheme::kAddrOnly:
+      identified = sys_.program().entry_alps.at(ab_id_);
+      break;
+    case Scheme::kTxSched:
+      // Whole-transaction scheduling has no anchors; a synthetic per-block
+      // id feeds the same frequency predictor.
+      identified = 1 + ab_id_;
+      break;
+    default:
+      break;
+  }
+
+  // Accuracy bookkeeping (Table 3): compare against the simulator's ground
+  // truth — the full PC of the first speculative access to the line.
+  if (scheme == Scheme::kStaggered || scheme == Scheme::kStaggeredSW) {
+    if (const auto* truth = table.lookup_pc(info.true_first_pc)) {
+      if (truth->pioneer_alp != 0) {
+        if (identified == truth->pioneer_alp)
+          ++st.anchor_id_correct;
+        else
+          ++st.anchor_id_wrong;
+      }
+    }
+  }
+
+  sys_.policy().on_abort(*ctx_, identified, info.conflict_line);
+}
+
+sim::Cycle TxExecutor::handle_abort(AbortCause self_cause) {
+  const auto info = sys_.htm().abort(core_, self_cause);
+  sim::Cycle cost = kAbortHandlerCost;
+  cost += sys_.locks().release(core_);
+  spinning_on_alp_ = false;
+
+  auto& st = sys_.stats().core(core_);
+  st.cycles_wasted_tx += attempt_cycles_;
+
+  if (info.cause == AbortCause::Conflict) resolve_and_train(info);
+
+  if (attempts_ >= sys_.config().max_retries) {
+    state_ = State::kGlockAcquire;
+    return cost;
+  }
+  // Polite backoff: mean delay proportional to the retry count.
+  const sim::Cycle mean = sys_.config().backoff_base * attempts_;
+  const sim::Cycle delay = sys_.rng(core_).next_below(2 * mean + 1);
+  st.cycles_backoff += delay;
+  state_ = State::kBeginAttempt;
+  return cost + delay;
+}
+
+sim::Cycle TxExecutor::glock_step() {
+  const auto cas = sys_.htm().nontx_cas(core_, sys_.glock_addr(), 0, core_ + 1);
+  if (!cas.success) {
+    sys_.stats().core(core_).cycles_lock_wait += cas.latency + kSpinPad;
+    return cas.latency + kSpinPad;
+  }
+  ++sys_.stats().core(core_).irrevocable_entries;
+  attempt_cycles_ = 0;
+  plain_interp_->start(func_, args_);
+  state_ = State::kIrrevRunning;
+  return cas.latency;
+}
+
+sim::Cycle TxExecutor::irrev_step() {
+  const auto s = plain_interp_->step();
+  ST_CHECK_MSG(!s.aborted, "irrevocable execution cannot abort");
+  attempt_cycles_ += s.cycles;
+  if (!s.finished) return s.cycles;
+
+  auto& st = sys_.stats().core(core_);
+  st.cycles_irrevocable += attempt_cycles_;
+  st.tx_instrs += plain_interp_->instrs_executed();
+  ++st.commits;  // a serialized execution still commits its atomic block
+  result_ = plain_interp_->result();
+  const sim::Cycle rel =
+      sys_.htm().nontx_store(core_, sys_.glock_addr(), 0, 8).latency;
+  state_ = State::kFinished;
+  return s.cycles + rel;
+}
+
+}  // namespace st::runtime

@@ -1,0 +1,98 @@
+// TxExecutor: runs one atomic block on one simulated core, handling the
+// full hardware-transaction lifecycle:
+//
+//   begin -> speculative execution (with ALPoints) -> lazy global-lock
+//   subscription -> commit
+//     \-> abort -> advisory-lock release -> locking-policy update ->
+//         polite backoff -> retry (up to max_retries)
+//           \-> global-lock acquisition -> irrevocable execution
+//
+// The executor is a resumable state machine: each step() performs one
+// instruction (or one spin/backoff interval) so the discrete-event
+// scheduler interleaves cores faithfully.
+#pragma once
+
+#include <vector>
+
+#include "interp/interp.hpp"
+#include "runtime/tx_system.hpp"
+
+namespace st::runtime {
+
+class TxExecutor {
+ public:
+  TxExecutor(TxSystem& sys, sim::CoreId core);
+  ~TxExecutor();
+  TxExecutor(const TxExecutor&) = delete;
+  TxExecutor& operator=(const TxExecutor&) = delete;
+
+  /// Begins executing atomic block `ab_id` with the given arguments.
+  void start(unsigned ab_id, std::vector<std::uint64_t> args);
+
+  bool idle() const { return state_ == State::kIdle; }
+  bool finished() const { return state_ == State::kFinished; }
+  /// Return value of the committed atomic block; resets to idle.
+  std::uint64_t take_result();
+
+  /// Advances the executor; call only while !idle() && !finished().
+  sim::Cycle step();
+
+  sim::CoreId core() const { return core_; }
+  TxSystem& system() { return sys_; }
+
+ private:
+  enum class State {
+    kIdle,
+    kBeginAttempt,
+    kRunning,
+    kGlockAcquire,
+    kIrrevRunning,
+    kFinished,
+  };
+
+  class SpecEnv;
+  class PlainEnv;
+
+  sim::Cycle begin_attempt();
+  /// kTxSched: whole-transaction serialization lock (§7 comparison). The
+  /// lock key is synthesized from the atomic-block id.
+  sim::Addr sched_lock_key() const;
+  sim::Cycle run_step();
+  sim::Cycle commit_sequence();
+  sim::Cycle handle_abort(htm::AbortCause self_cause);
+  sim::Cycle glock_step();
+  sim::Cycle irrev_step();
+  void resolve_and_train(const htm::AbortInfo& info);
+
+  static constexpr sim::Cycle kBeginCost = 5;
+  static constexpr sim::Cycle kCommitCost = 10;
+  // An abort costs a pipeline flush, register-checkpoint restore, and the
+  // software handler's dispatch before the retry loop resumes.
+  static constexpr sim::Cycle kAbortHandlerCost = 120;
+  static constexpr sim::Cycle kSpinPad = 8;
+
+  TxSystem& sys_;
+  sim::CoreId core_;
+  std::unique_ptr<SpecEnv> spec_env_;
+  std::unique_ptr<PlainEnv> plain_env_;
+  std::unique_ptr<interp::Interp> spec_interp_;
+  std::unique_ptr<interp::Interp> plain_interp_;
+
+  State state_ = State::kIdle;
+  unsigned ab_id_ = 0;
+  const ir::Function* func_ = nullptr;
+  std::vector<std::uint64_t> args_;
+  stagger::ABContext* ctx_ = nullptr;
+  unsigned attempts_ = 0;
+  sim::Cycle attempt_cycles_ = 0;
+  sim::Cycle lock_wait_accum_ = 0;  // current ALP acquire sequence
+  sim::Addr alp_target_ = 0;        // address being advisory-locked
+  bool spinning_on_alp_ = false;
+  bool last_step_lock_wait_ = false;
+  std::uint64_t result_ = 0;
+
+  friend class SpecEnv;
+  friend class PlainEnv;
+};
+
+}  // namespace st::runtime

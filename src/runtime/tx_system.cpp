@@ -1,0 +1,69 @@
+#include "runtime/tx_system.hpp"
+
+#include "common/check.hpp"
+
+namespace st::runtime {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline: return "HTM";
+    case Scheme::kAddrOnly: return "AddrOnly";
+    case Scheme::kStaggered: return "Staggered";
+    case Scheme::kStaggeredSW: return "Staggered+SW";
+    case Scheme::kTxSched: return "TxSched";
+  }
+  return "?";
+}
+
+stagger::InstrumentMode instrument_mode_for(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline: return stagger::InstrumentMode::kNone;
+    case Scheme::kAddrOnly: return stagger::InstrumentMode::kEntryOnly;
+    case Scheme::kStaggered:
+    case Scheme::kStaggeredSW: return stagger::InstrumentMode::kAnchors;
+    case Scheme::kTxSched: return stagger::InstrumentMode::kNone;
+  }
+  return stagger::InstrumentMode::kNone;
+}
+
+TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
+    : cfg_(cfg),
+      prog_(prog),
+      stats_(cfg.cores),
+      machine_(cfg.cores),
+      heap_(cfg.cores + 1, cfg.arena_bytes),
+      policy_(cfg.policy) {
+  ST_CHECK_MSG(prog.module != nullptr && prog.module->finalized(),
+               "TxSystem needs a compiled, finalized program");
+  cfg_.mem.cores = cfg_.cores;
+  mem_ = std::make_unique<sim::MemorySystem>(cfg_.mem, stats_);
+  htm_ = std::make_unique<htm::HtmSystem>(heap_, *mem_, stats_);
+  htm_->set_clock([this] { return machine_.now(); });
+  locks_ = std::make_unique<stagger::AdvisoryLockTable>(
+      *htm_, cfg_.num_advisory_locks);
+  cpc_ = std::make_unique<stagger::CpcMap>(*htm_);
+  glock_ = heap_.alloc_line_aligned(heap_.setup_arena(), 8);
+
+  const unsigned num_abs =
+      static_cast<unsigned>(prog.module->atomic_blocks().size());
+  ST_CHECK(prog.tables.size() == num_abs);
+  rngs_.reserve(cfg_.cores);
+  abctx_.reserve(static_cast<std::size_t>(cfg_.cores) * num_abs);
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    rngs_.emplace_back(mix64(cfg_.seed) ^ (0x1234'5678ull * (c + 1)));
+    for (unsigned ab = 0; ab < num_abs; ++ab)
+      abctx_.push_back(std::make_unique<stagger::ABContext>(
+          prog.tables[ab].get(), cfg_.history_len));
+  }
+}
+
+stagger::ABContext& TxSystem::abctx(sim::CoreId c, unsigned ab_id) {
+  const unsigned num_abs =
+      static_cast<unsigned>(prog_.module->atomic_blocks().size());
+  ST_CHECK(c < cfg_.cores && ab_id < num_abs);
+  return *abctx_[static_cast<std::size_t>(c) * num_abs + ab_id];
+}
+
+sim::Cycle TxSystem::run() { return machine_.run(); }
+
+}  // namespace st::runtime

@@ -1,0 +1,89 @@
+// TxSystem: wires simulator, HTM, compiled program, and the staggered-
+// transactions runtime together for one experiment run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "htm/htm.hpp"
+#include "sim/machine.hpp"
+#include "stagger/advisory_locks.hpp"
+#include "stagger/cpc_map.hpp"
+#include "stagger/instrument.hpp"
+#include "stagger/policy.hpp"
+
+namespace st::runtime {
+
+/// Which contention-reduction scheme the runtime applies (Fig. 7 legend,
+/// plus the §7 related-work baseline).
+enum class Scheme : std::uint8_t {
+  kBaseline,     // plain HTM with global-lock fallback
+  kAddrOnly,     // fixed entry ALP, precise mode only
+  kStaggered,    // paper scheme with hardware conflicting-PC tags
+  kStaggeredSW,  // paper scheme with the software CPC map (§4)
+  kTxSched,      // proactive transaction scheduling (Blake et al., §7):
+                 // serialize *entire* predicted-conflicting transactions
+};
+
+const char* scheme_name(Scheme s);
+
+/// Matches the instrumentation the scheme requires.
+stagger::InstrumentMode instrument_mode_for(Scheme s);
+
+struct RuntimeConfig {
+  unsigned cores = 16;
+  sim::MemConfig mem;  // mem.cores is forced to `cores`
+  Scheme scheme = Scheme::kBaseline;
+  unsigned max_retries = 10;       // attempts before irrevocable mode
+  unsigned num_advisory_locks = 256;
+  sim::Cycle lock_timeout = 2'000;
+  sim::Cycle backoff_base = 64;    // Polite: mean delay = base * attempt
+  unsigned history_len = 8;
+  stagger::PolicyConfig policy;
+  std::size_t arena_bytes = 16u << 20;
+  std::uint64_t seed = 1;
+};
+
+class TxSystem {
+ public:
+  /// `prog` must have been compiled with instrument_mode_for(cfg.scheme).
+  TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog);
+
+  sim::Machine& machine() { return machine_; }
+  sim::Heap& heap() { return heap_; }
+  sim::MemorySystem& mem() { return *mem_; }
+  htm::HtmSystem& htm() { return *htm_; }
+  sim::MachineStats& stats() { return stats_; }
+  stagger::AdvisoryLockTable& locks() { return *locks_; }
+  stagger::CpcMap& cpc() { return *cpc_; }
+  stagger::LockingPolicy& policy() { return policy_; }
+  stagger::CompiledProgram& program() { return prog_; }
+  const RuntimeConfig& config() const { return cfg_; }
+  Xoshiro256ss& rng(sim::CoreId c) { return rngs_[c]; }
+
+  stagger::ABContext& abctx(sim::CoreId c, unsigned ab_id);
+
+  sim::Addr glock_addr() const { return glock_; }
+
+  /// Runs every installed core task to completion; returns elapsed cycles.
+  sim::Cycle run();
+
+ private:
+  RuntimeConfig cfg_;
+  stagger::CompiledProgram& prog_;
+  sim::MachineStats stats_;
+  sim::Machine machine_;
+  sim::Heap heap_;
+  std::unique_ptr<sim::MemorySystem> mem_;
+  std::unique_ptr<htm::HtmSystem> htm_;
+  std::unique_ptr<stagger::AdvisoryLockTable> locks_;
+  std::unique_ptr<stagger::CpcMap> cpc_;
+  stagger::LockingPolicy policy_;
+  std::vector<Xoshiro256ss> rngs_;
+  // abctx_[core * num_abs + ab]
+  std::vector<std::unique_ptr<stagger::ABContext>> abctx_;
+  sim::Addr glock_ = 0;
+};
+
+}  // namespace st::runtime

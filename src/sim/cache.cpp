@@ -1,0 +1,91 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace st::sim {
+
+L1Cache::L1Cache(const CacheGeometry& g) : sets_(g.sets()), ways_(g.ways) {
+  ST_CHECK(std::has_single_bit(sets_));
+  ST_CHECK(ways_ >= 1);
+  lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+L1Line* L1Cache::find(Addr line) {
+  L1Line* base = lines_.data() + static_cast<std::size_t>(set_of(line)) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w].state != Coh::I && base[w].line == line) return &base[w];
+  return nullptr;
+}
+
+const L1Line* L1Cache::find(Addr line) const {
+  return const_cast<L1Cache*>(this)->find(line);
+}
+
+L1Line* L1Cache::victim(Addr line) {
+  L1Line* base = lines_.data() + static_cast<std::size_t>(set_of(line)) * ways_;
+  L1Line* best = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    L1Line& l = base[w];
+    if (l.state == Coh::I) return &l;
+    // Prefer the least-recently-used non-speculative line; fall back to the
+    // LRU speculative line (forcing a capacity abort) only when the whole
+    // set is speculative.
+    if (best == nullptr) {
+      best = &l;
+      continue;
+    }
+    const bool l_better =
+        (l.speculative() < best->speculative()) ||
+        (l.speculative() == best->speculative() && l.last_use < best->last_use);
+    if (l_better) best = &l;
+  }
+  return best;
+}
+
+bool L1Cache::set_full_of_speculative(Addr line) const {
+  const L1Line* base =
+      lines_.data() + static_cast<std::size_t>(set_of(line)) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w].state == Coh::I || !base[w].speculative()) return false;
+  return true;
+}
+
+TagCache::TagCache(const CacheGeometry& g) : sets_(g.sets()), ways_(g.ways) {
+  ST_CHECK(std::has_single_bit(sets_));
+  ST_CHECK(ways_ >= 1);
+  slots_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+bool TagCache::access(Addr line) {
+  Slot* base = slots_.data() + static_cast<std::size_t>(set_of(line)) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].line == line) {
+      base[w].last_use = ++tick_;
+      return true;
+    }
+  }
+  Slot* victim = &base[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Slot& s = base[w];
+    if (!s.valid) {
+      victim = &s;
+      break;
+    }
+    if (victim->valid && s.last_use < victim->last_use) victim = &s;
+  }
+  victim->line = line;
+  victim->valid = true;
+  victim->last_use = ++tick_;
+  return false;
+}
+
+bool TagCache::contains(Addr line) const {
+  const Slot* base = slots_.data() + static_cast<std::size_t>(set_of(line)) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].line == line) return true;
+  return false;
+}
+
+}  // namespace st::sim

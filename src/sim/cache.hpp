@@ -1,0 +1,111 @@
+// Cache tag arrays.
+//
+// Data values never live in the caches (they are in sim::Heap and in the HTM
+// write buffers); the caches model presence, coherence state, transactional
+// read/write bits, and the per-line conflicting-PC tag of §4 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace st::sim {
+
+/// MOESI coherence states. The directory keeps the authoritative owner /
+/// sharer sets; per-line states exist in L1 only.
+enum class Coh : std::uint8_t { I, S, E, O, M };
+
+inline bool coh_can_write(Coh c) { return c == Coh::E || c == Coh::M; }
+
+struct L1Line {
+  Addr line = 0;  // line-aligned address; valid iff state != I
+  Coh state = Coh::I;
+  bool tx_read = false;
+  bool tx_write = false;
+  bool pc_tag_valid = false;
+  std::uint16_t pc_tag = 0;        // truncated first-access PC (hardware view)
+  std::uint32_t first_pc = 0;      // full first-access PC (ground truth)
+  std::uint64_t last_use = 0;      // LRU timestamp
+
+  bool speculative() const { return tx_read || tx_write; }
+};
+
+struct CacheGeometry {
+  std::uint32_t size_bytes;
+  std::uint32_t ways;
+  std::uint32_t sets() const { return size_bytes / kLineBytes / ways; }
+};
+
+/// L1 data cache: full per-line metadata.
+class L1Cache {
+ public:
+  explicit L1Cache(const CacheGeometry& g);
+
+  /// Returns the line's slot if present (state != I).
+  L1Line* find(Addr line);
+  const L1Line* find(Addr line) const;
+
+  /// Chooses a victim slot in `line`'s set: an invalid way if any, else the
+  /// LRU way, preferring non-speculative lines over speculative ones.
+  /// Never returns null.
+  L1Line* victim(Addr line);
+
+  /// True if every way of `line`'s set holds a speculative line (insertion
+  /// would force a capacity abort).
+  bool set_full_of_speculative(Addr line) const;
+
+  void touch(L1Line& l) { l.last_use = ++tick_; }
+
+  /// Invoke `fn(L1Line&)` on every valid line.
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
+    for (auto& l : lines_)
+      if (l.state != Coh::I) fn(l);
+  }
+
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+ private:
+  std::uint32_t set_of(Addr line) const {
+    return static_cast<std::uint32_t>(line_index(line)) & (sets_ - 1);
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<L1Line> lines_;  // sets_ * ways_, set-major
+  std::uint64_t tick_ = 0;
+};
+
+/// Tag-only cache used to model L2/L3 hit latency. Presence is tracked with
+/// LRU replacement; no coherence state is needed at these levels because the
+/// directory is authoritative.
+class TagCache {
+ public:
+  explicit TagCache(const CacheGeometry& g);
+
+  /// Looks up `line`; if absent, inserts it (evicting LRU). Returns whether
+  /// it was a hit before the insertion.
+  bool access(Addr line);
+
+  bool contains(Addr line) const;
+
+ private:
+  struct Slot {
+    Addr line = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+  };
+  std::uint32_t set_of(Addr line) const {
+    return static_cast<std::uint32_t>(line_index(line)) & (sets_ - 1);
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<Slot> slots_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace st::sim

@@ -1,0 +1,105 @@
+#include "sim/heap.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace st::sim {
+
+Heap::Heap(unsigned arenas, std::size_t arena_bytes)
+    : arena_count_(arenas), arena_bytes_(arena_bytes) {
+  ST_CHECK(arenas >= 1);
+  ST_CHECK(arena_bytes >= kLineBytes);
+  // Arena starts are staggered by 67 lines each (67 is coprime to any
+  // power-of-two set count): with naive 2^k-aligned bases, objects at equal
+  // offsets in different arenas alias into the same L1 set, and a structure
+  // whose nodes were allocated by many threads overflows one set and aborts
+  // on capacity instead of conflicts.
+  const Addr stagger = 67 * kLineBytes;
+  mem_size_ = static_cast<std::size_t>(arenas) * (arena_bytes + stagger);
+  mem_.reset(new std::byte[mem_size_]);
+  arenas_.resize(arenas);
+  for (unsigned i = 0; i < arenas; ++i) {
+    arenas_[i].base = kBase + static_cast<Addr>(i) * (arena_bytes + stagger);
+    arenas_[i].brk = arenas_[i].base;
+    arenas_[i].limit = arenas_[i].base + arena_bytes;
+  }
+}
+
+std::size_t Heap::size_class(std::size_t size) {
+  if (size < 8) size = 8;
+  return std::bit_ceil(size);
+}
+
+Addr Heap::alloc(unsigned arena, std::size_t size, std::size_t align) {
+  ST_CHECK(arena < arena_count_);
+  ST_CHECK(size > 0);
+  ST_CHECK(std::has_single_bit(align) && align >= 8);
+  const std::size_t cls = size_class(size < align ? align : size);
+  Arena& ar = arenas_[arena];
+  auto it = ar.free_lists.find(cls);
+  Addr a;
+  if (it != ar.free_lists.end() && !it->second.empty()) {
+    a = it->second.back();
+    it->second.pop_back();
+  } else {
+    // Size classes are powers of two >= 8, so bumping by the class keeps
+    // every block aligned to min(class, line) as long as the arena base is
+    // line-aligned (it is: kBase and arena_bytes are line multiples).
+    Addr aligned = (ar.brk + (cls - 1)) & ~static_cast<Addr>(cls - 1);
+    if (cls >= kLineBytes) aligned = (ar.brk + (kLineBytes - 1)) & ~(kLineBytes - 1);
+    ST_CHECK_MSG(aligned + cls <= ar.limit, "simulated arena exhausted");
+    ar.brk = aligned + cls;
+    a = aligned;
+  }
+  ST_CHECK(block_sizes_.emplace(a, static_cast<std::uint32_t>((arena << 24) | std::countr_zero(cls))).second);
+  bytes_allocated_ += cls;
+  // Fresh blocks read as zero.
+  std::memset(backing(a), 0, cls);
+  return a;
+}
+
+Addr Heap::alloc_line_aligned(unsigned arena, std::size_t size) {
+  return alloc(arena, size < kLineBytes ? kLineBytes : size, kLineBytes);
+}
+
+void Heap::dealloc(Addr a) {
+  auto it = block_sizes_.find(a);
+  ST_CHECK_MSG(it != block_sizes_.end(), "dealloc of unknown block");
+  const unsigned arena = it->second >> 24;
+  const std::size_t cls = std::size_t{1} << (it->second & 0xFF);
+  block_sizes_.erase(it);
+  bytes_allocated_ -= cls;
+  arenas_[arena].free_lists[cls].push_back(a);
+}
+
+std::byte* Heap::backing(Addr a) {
+  ST_CHECK_MSG(a >= kBase && a < kBase + mem_size_, "wild simulated address");
+  return mem_.get() + (a - kBase);
+}
+
+const std::byte* Heap::backing(Addr a) const {
+  ST_CHECK_MSG(a >= kBase && a < kBase + mem_size_, "wild simulated address");
+  return mem_.get() + (a - kBase);
+}
+
+bool Heap::contains(Addr a) const {
+  return a >= kBase && a < kBase + mem_size_;
+}
+
+std::uint64_t Heap::load(Addr a, unsigned size) const {
+  ST_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  ST_CHECK_MSG(a % size == 0, "unaligned simulated load");
+  std::uint64_t v = 0;
+  std::memcpy(&v, backing(a), size);
+  return v;
+}
+
+void Heap::store(Addr a, std::uint64_t v, unsigned size) {
+  ST_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  ST_CHECK_MSG(a % size == 0, "unaligned simulated store");
+  std::memcpy(backing(a), &v, size);
+}
+
+}  // namespace st::sim

@@ -1,0 +1,77 @@
+// Simulated flat memory with per-core allocation arenas.
+//
+// The heap is the single source of truth for committed data values.  The
+// cache hierarchy (sim/cache.hpp) tracks only metadata; speculative stores
+// are buffered by the HTM layer and drained here on commit.
+//
+// Each core allocates from its own arena, mirroring the per-thread behaviour
+// of the Lockless allocator used in the paper (so unrelated threads'
+// allocations do not share cache lines by accident).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace st::sim {
+
+class Heap {
+ public:
+  /// `arenas` is the number of independent allocation arenas (normally the
+  /// core count plus one shared setup arena); `arena_bytes` the capacity of
+  /// each.
+  Heap(unsigned arenas, std::size_t arena_bytes);
+
+  /// Allocate `size` bytes in `arena`, aligned to `align` (power of two,
+  /// >= 8). Returns the simulated address. Never returns 0.
+  Addr alloc(unsigned arena, std::size_t size, std::size_t align = 8);
+
+  /// Allocate on a fresh cache line (used for lock words and other data
+  /// where false sharing must be avoided by construction).
+  Addr alloc_line_aligned(unsigned arena, std::size_t size);
+
+  /// Return a block obtained from alloc(). Size is remembered internally.
+  void dealloc(Addr a);
+
+  /// Raw value access; size in {1,2,4,8}; `a` must be size-aligned and not
+  /// cross a cache line. Loads of never-stored memory return 0.
+  std::uint64_t load(Addr a, unsigned size) const;
+  void store(Addr a, std::uint64_t v, unsigned size);
+
+  bool contains(Addr a) const;
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t live_blocks() const { return block_sizes_.size(); }
+
+  /// The arena index reserved for single-threaded setup code.
+  unsigned setup_arena() const { return arena_count_ - 1; }
+
+ private:
+  struct Arena {
+    Addr base = 0;
+    Addr brk = 0;
+    Addr limit = 0;
+    // Free lists bucketed by rounded size (power-of-two classes).
+    std::unordered_map<std::size_t, std::vector<Addr>> free_lists;
+  };
+
+  std::byte* backing(Addr a);
+  const std::byte* backing(Addr a) const;
+  static std::size_t size_class(std::size_t size);
+
+  unsigned arena_count_;
+  std::size_t arena_bytes_;
+  std::vector<Arena> arenas_;
+  // Uninitialized on purpose: every block is zeroed when allocated, so the
+  // backing store never needs the (expensive) whole-arena clear.
+  std::unique_ptr<std::byte[]> mem_;
+  std::size_t mem_size_ = 0;
+  std::unordered_map<Addr, std::uint32_t> block_sizes_;  // addr -> arena<<24|class
+  std::size_t bytes_allocated_ = 0;
+
+  static constexpr Addr kBase = 0x10000;  // keep low addresses invalid
+};
+
+}  // namespace st::sim

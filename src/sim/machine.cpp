@@ -1,0 +1,53 @@
+#include "sim/machine.hpp"
+
+#include "common/check.hpp"
+
+namespace st::sim {
+
+Machine::Machine(unsigned cores) {
+  ST_CHECK(cores >= 1 && cores <= 32);
+  cores_.resize(cores);
+}
+
+void Machine::set_task(CoreId core, std::unique_ptr<CoreTask> task) {
+  ST_CHECK(core < cores_.size());
+  // Capture the time before installing: the new task must not make itself
+  // the "minimum running clock" and start in the past.
+  const Cycle start = now();
+  cores_[core].task = std::move(task);
+  cores_[core].clock = start;
+}
+
+Cycle Machine::now() const {
+  Cycle min_running = ~Cycle{0};
+  Cycle max_any = 0;
+  for (const auto& c : cores_) {
+    if (c.clock > max_any) max_any = c.clock;
+    if (c.task && !c.task->done() && c.clock < min_running)
+      min_running = c.clock;
+  }
+  return min_running == ~Cycle{0} ? max_any : min_running;
+}
+
+Cycle Machine::run(Cycle max_cycles) {
+  for (;;) {
+    // Pick the runnable core with the smallest clock (stable by id).
+    int next = -1;
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+      Core& c = cores_[i];
+      if (!c.task || c.task->done()) continue;
+      if (next < 0 || c.clock < cores_[next].clock) next = static_cast<int>(i);
+    }
+    if (next < 0) break;
+    Core& c = cores_[next];
+    if (c.clock >= max_cycles) break;
+    const Cycle used = c.task->step(*this, static_cast<CoreId>(next));
+    c.clock += used < 1 ? 1 : used;
+  }
+  Cycle end = 0;
+  for (const auto& c : cores_)
+    if (c.clock > end) end = c.clock;
+  return end;
+}
+
+}  // namespace st::sim

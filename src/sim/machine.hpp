@@ -1,0 +1,60 @@
+// Deterministic discrete-event multicore scheduler.
+//
+// Each simulated core owns a logical clock and a CoreTask (a resumable state
+// machine). The machine repeatedly advances the runnable core with the
+// smallest clock (ties broken by core id), so a given configuration and seed
+// always produces a bit-identical execution, independent of the host.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace st::sim {
+
+class Machine;
+
+/// A resumable unit of work bound to one core. step() performs a small,
+/// bounded amount of work (typically one instruction) and returns the number
+/// of cycles it consumed (>= 1).
+class CoreTask {
+ public:
+  virtual ~CoreTask() = default;
+  virtual Cycle step(Machine& m, CoreId core) = 0;
+  virtual bool done() const = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(unsigned cores);
+
+  unsigned cores() const { return static_cast<unsigned>(cores_.size()); }
+
+  /// Installs the task for `core` and resets that core's clock to the
+  /// current global time (so late-installed tasks do not run in the past).
+  void set_task(CoreId core, std::unique_ptr<CoreTask> task);
+
+  /// Runs until every task reports done() or `max_cycles` of global time
+  /// elapse. Returns the final global time (max over core clocks that ran).
+  Cycle run(Cycle max_cycles = ~Cycle{0});
+
+  Cycle core_clock(CoreId core) const { return cores_[core].clock; }
+
+  /// Global time: the minimum clock over still-running cores, or the max
+  /// over all cores once everything finished.
+  Cycle now() const;
+
+  /// Adds idle time to a core (e.g., modeling an OS-level sleep).
+  void advance_clock(CoreId core, Cycle cycles) { cores_[core].clock += cycles; }
+
+ private:
+  struct Core {
+    Cycle clock = 0;
+    std::unique_ptr<CoreTask> task;
+  };
+  std::vector<Core> cores_;
+};
+
+}  // namespace st::sim

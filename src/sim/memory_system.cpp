@@ -1,0 +1,270 @@
+#include "sim/memory_system.hpp"
+
+#include "common/check.hpp"
+
+namespace st::sim {
+
+MemorySystem::MemorySystem(const MemConfig& cfg, MachineStats& stats)
+    : cfg_(cfg), stats_(stats), l3_(cfg.l3) {
+  ST_CHECK(cfg.cores >= 1 && cfg.cores <= 32);
+  ST_CHECK(cfg.pc_tag_bits >= 1 && cfg.pc_tag_bits <= 16);
+  l1_.reserve(cfg.cores);
+  l2_.reserve(cfg.cores);
+  for (unsigned i = 0; i < cfg.cores; ++i) {
+    l1_.push_back(std::make_unique<L1Cache>(cfg.l1));
+    l2_.push_back(std::make_unique<TagCache>(cfg.l2));
+  }
+}
+
+bool MemorySystem::conflict_check(CoreId remote, Addr line, AccessKind kind,
+                                  CoreId requester) {
+  // Under lazy detection, reads never kill anyone: speculative writes are
+  // buffered, so the heap always serves committed data. Only stores (the
+  // commit-time publish, nontransactional stores, irrevocable execution)
+  // conflict with speculative state.
+  if (cfg_.lazy_conflicts && kind == AccessKind::Load) return false;
+  L1Line* rl = l1_[remote]->find(line);
+  if (rl == nullptr) return false;
+  const bool conflict = (kind == AccessKind::Store) ? rl->speculative()
+                                                    : rl->tx_write;
+  if (!conflict) return false;
+  ST_CHECK_MSG(sink_ != nullptr, "transactional conflict without a sink");
+  // Capture the line's PC info before the sink clears speculative state.
+  const bool pc_valid = rl->pc_tag_valid;
+  const std::uint16_t tag = rl->pc_tag;
+  const std::uint32_t first = rl->first_pc;
+  sink_->on_conflict_abort(remote, line, pc_valid, tag, first, requester);
+  return true;
+}
+
+void MemorySystem::dir_drop(CoreId c, Addr line) {
+  auto it = dir_.find(line);
+  if (it == dir_.end()) return;
+  it->second.sharers &= ~(1u << c);
+  if (it->second.owner == static_cast<int>(c)) it->second.owner = -1;
+  if (it->second.sharers == 0) dir_.erase(it);
+}
+
+void MemorySystem::invalidate_remote(CoreId remote, Addr line, DirEntry& d) {
+  if (L1Line* rl = l1_[remote]->find(line)) {
+    rl->state = Coh::I;
+    rl->tx_read = rl->tx_write = false;
+    rl->pc_tag_valid = false;
+  }
+  d.sharers &= ~(1u << remote);
+  if (d.owner == static_cast<int>(remote)) d.owner = -1;
+}
+
+Cycle MemorySystem::fill_latency(CoreId c, Addr line) {
+  if (l2_[c]->access(line)) return cfg_.l2_lat;
+  if (l3_.access(line)) return cfg_.l3_lat;
+  return cfg_.l3_lat + cfg_.mem_lat;
+}
+
+AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
+                                   AccessKind kind, bool transactional,
+                                   std::uint32_t pc) {
+  ST_CHECK(c < cfg_.cores);
+  const Addr line = line_addr(addr);
+  ST_CHECK_MSG(line_addr(addr + size - 1) == line,
+               "access crosses a cache line");
+
+  AccessOutcome out;
+  out.latency = cfg_.l1_lat;
+  L1Cache& l1 = *l1_[c];
+  L1Line* l = l1.find(line);
+  const bool hit = l != nullptr &&
+                   (kind == AccessKind::Load || coh_can_write(l->state));
+
+  if (hit) {
+    ++stats_.core(c).l1_hits;
+    if (kind == AccessKind::Store && l->state == Coh::E) l->state = Coh::M;
+  } else {
+    ++stats_.core(c).l1_misses;
+
+    // Under lazy conflict detection, a *transactional* request defers its
+    // conflicts to commit time; everything else stays eager.
+    const bool check_conflicts = !(transactional && cfg_.lazy_conflicts);
+    if (kind == AccessKind::Store) {
+      ST_CHECK_MSG(check_conflicts,
+                   "lazy transactional stores must use tx_store_lazy");
+      // Invalidate every other copy, aborting conflicting transactions
+      // (requester wins). Snapshot the sharer mask: aborting a victim
+      // mutates directory state (it may even erase this line's entry), so
+      // the entry is re-found on every iteration.
+      auto it = dir_.find(line);
+      const std::uint32_t sharers =
+          (it == dir_.end() ? 0 : it->second.sharers) & ~(1u << c);
+      for (unsigned s = 0; s < cfg_.cores; ++s) {
+        if (!(sharers & (1u << s))) continue;
+        conflict_check(s, line, kind, c);
+        auto it2 = dir_.find(line);
+        if (it2 == dir_.end()) continue;
+        invalidate_remote(s, line, it2->second);
+        if (it2->second.sharers == 0) dir_.erase(it2);
+      }
+      out.latency += (l != nullptr) ? cfg_.dir_lat        // upgrade S/O -> M
+                                    : cfg_.dir_lat + fill_latency(c, line);
+    } else {  // Load miss
+      auto itd = dir_.find(line);
+      const int owner = itd == dir_.end() ? -1 : itd->second.owner;
+      if (owner >= 0 && owner != static_cast<int>(c)) {
+        const bool conflicted =
+            check_conflicts &&
+            conflict_check(static_cast<CoreId>(owner), line, kind, c);
+        if (conflicted) {
+          // The victim's speculative copy was dropped; fetch from below.
+          out.latency += cfg_.dir_lat + fill_latency(c, line);
+        } else {
+          // Owner forwards; M/E owner transitions to O (retains ownership
+          // for future forwards, which is the MOESI "O" role).
+          if (L1Line* ol = l1_[static_cast<CoreId>(owner)]->find(line))
+            ol->state = Coh::O;
+          out.latency += cfg_.fwd_lat;
+        }
+      } else {
+        out.latency += fill_latency(c, line);
+      }
+    }
+
+    // Install or upgrade the local copy.
+    if (l == nullptr) {
+      L1Line* v = l1.victim(line);
+      if (v->state != Coh::I) {
+        if (v->speculative()) {
+          // Evicting our own speculative line overflows the read/write set.
+          out.capacity_abort = true;
+          return out;
+        }
+        dir_drop(c, v->line);
+      }
+      *v = L1Line{};
+      v->line = line;
+      l = v;
+    }
+    DirEntry& d2 = dir_[line];  // re-lookup: aborts may have erased the entry
+    if (kind == AccessKind::Store) {
+      l->state = Coh::M;
+      d2.owner = static_cast<int>(c);
+    } else {
+      const std::uint32_t others = d2.sharers & ~(1u << c);
+      l->state = (others == 0 && d2.owner < 0) ? Coh::E : Coh::S;
+      if (l->state == Coh::E) d2.owner = static_cast<int>(c);
+    }
+    d2.sharers |= 1u << c;
+  }
+
+  l1.touch(*l);
+  if (transactional) {
+    if (!l->speculative()) {
+      // First speculative touch of this line: record the PC tag (§4).
+      l->pc_tag = static_cast<std::uint16_t>(pc & ((1u << cfg_.pc_tag_bits) - 1));
+      l->first_pc = pc;
+      l->pc_tag_valid = true;
+    }
+    if (kind == AccessKind::Store)
+      l->tx_write = true;
+    else
+      l->tx_read = true;
+  }
+  return out;
+}
+
+AccessOutcome MemorySystem::tx_store_lazy(CoreId c, Addr addr, unsigned size,
+                                          std::uint32_t pc) {
+  // Fetch for reading (keeps remote copies alive, raises no conflicts)...
+  AccessOutcome out = access(c, addr, size, AccessKind::Load, true, pc);
+  if (out.capacity_abort) return out;
+  // ...then privately mark the line written; the write buffer holds data.
+  L1Line* l = l1_[c]->find(line_addr(addr));
+  ST_CHECK(l != nullptr);
+  l->tx_write = true;
+  return out;
+}
+
+Cycle MemorySystem::publish_line(CoreId c, Addr line) {
+  line = line_addr(line);
+  Cycle lat = cfg_.dir_lat;
+  auto it = dir_.find(line);
+  const std::uint32_t sharers =
+      (it == dir_.end() ? 0 : it->second.sharers) & ~(1u << c);
+  for (unsigned s = 0; s < cfg_.cores; ++s) {
+    if (!(sharers & (1u << s))) continue;
+    conflict_check(s, line, AccessKind::Store, c);
+    auto it2 = dir_.find(line);
+    if (it2 == dir_.end()) continue;
+    invalidate_remote(s, line, it2->second);
+    if (it2->second.sharers == 0) dir_.erase(it2);
+  }
+  L1Line* l = l1_[c]->find(line);
+  ST_CHECK_MSG(l != nullptr, "publishing a line not in the committer's L1");
+  l->state = Coh::M;
+  DirEntry& d = dir_[line];
+  d.sharers |= 1u << c;
+  d.owner = static_cast<int>(c);
+  return lat;
+}
+
+std::vector<Addr> MemorySystem::speculative_written_lines(CoreId c) const {
+  std::vector<Addr> out;
+  const_cast<L1Cache&>(*l1_[c]).for_each_valid([&](L1Line& l) {
+    if (l.tx_write) out.push_back(l.line);
+  });
+  return out;
+}
+
+void MemorySystem::clear_speculative(CoreId c, bool invalidate_written) {
+  l1_[c]->for_each_valid([&](L1Line& l) {
+    if (!l.speculative()) return;
+    if (l.tx_write && invalidate_written) {
+      const Addr line = l.line;
+      l.state = Coh::I;
+      l.tx_read = l.tx_write = false;
+      l.pc_tag_valid = false;
+      dir_drop(c, line);
+      return;
+    }
+    l.tx_read = l.tx_write = false;
+    l.pc_tag_valid = false;
+  });
+}
+
+unsigned MemorySystem::speculative_lines(CoreId c) const {
+  unsigned n = 0;
+  const_cast<L1Cache&>(*l1_[c]).for_each_valid([&](L1Line& l) {
+    if (l.speculative()) ++n;
+  });
+  return n;
+}
+
+std::uint32_t MemorySystem::dir_sharers(Addr line) const {
+  auto it = dir_.find(line_addr(line));
+  return it == dir_.end() ? 0 : it->second.sharers;
+}
+
+int MemorySystem::dir_owner(Addr line) const {
+  auto it = dir_.find(line_addr(line));
+  return it == dir_.end() ? -1 : it->second.owner;
+}
+
+void MemorySystem::check_invariants() const {
+  for (const auto& [line, d] : dir_) {
+    ST_CHECK_MSG(d.sharers != 0, "directory entry with no sharers");
+    if (d.owner >= 0)
+      ST_CHECK_MSG(d.sharers & (1u << d.owner), "owner not in sharer set");
+    unsigned writable = 0;
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+      const L1Line* l = l1_[c]->find(line);
+      const bool shares = (d.sharers >> c) & 1u;
+      ST_CHECK_MSG((l != nullptr) == shares, "directory/L1 presence mismatch");
+      if (l != nullptr && coh_can_write(l->state)) {
+        ++writable;
+        ST_CHECK_MSG(d.owner == static_cast<int>(c),
+                     "writable copy without directory ownership");
+      }
+    }
+    ST_CHECK_MSG(writable <= 1, "multiple writable copies of one line");
+  }
+}
+
+}  // namespace st::sim

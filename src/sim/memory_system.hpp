@@ -1,0 +1,140 @@
+// Coherent memory hierarchy with eager requester-wins conflict detection.
+//
+// Models the machine of Table 2 in the paper: per-core L1 (2 cycles),
+// private L2 (10), shared L3 (30), memory (125 @ 2.5 GHz), MOESI-style
+// directory coherence, two transactional bits and a 12-bit conflicting-PC
+// tag per L1 line.
+//
+// Conflicts are detected when a coherence request reaches a remote L1 whose
+// copy of the line is speculative: the requester always wins and the victim
+// transaction is aborted through the ConflictSink (implemented by the HTM
+// layer, which records abort info and clears the victim's speculative
+// state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace st::sim {
+
+struct MemConfig {
+  unsigned cores = 16;
+  CacheGeometry l1{64 * 1024, 8};
+  CacheGeometry l2{1024 * 1024, 8};
+  CacheGeometry l3{8 * 1024 * 1024, 8};
+  Cycle l1_lat = 2;
+  Cycle l2_lat = 10;
+  Cycle l3_lat = 30;
+  Cycle mem_lat = 125;   // 50 ns at 2.5 GHz
+  Cycle fwd_lat = 30;    // cache-to-cache forward via the directory
+  Cycle dir_lat = 30;    // directory/upgrade round trip
+  unsigned pc_tag_bits = 12;
+  /// Lazy conflict detection (paper §8 future work): transactional accesses
+  /// never abort remote transactions during execution; conflicts fire at
+  /// commit time via publish_line (committer wins). Nontransactional and
+  /// plain accesses stay eager — they act on committed state immediately.
+  bool lazy_conflicts = false;
+};
+
+enum class AccessKind : std::uint8_t { Load, Store };
+
+/// Callback interface implemented by the HTM layer.
+class ConflictSink {
+ public:
+  virtual ~ConflictSink() = default;
+
+  /// A coherence request from `requester` conflicted with speculative state
+  /// in `victim`'s L1. The sink must abort the victim transaction (it is
+  /// expected to call MemorySystem::clear_speculative(victim, true)).
+  virtual void on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
+                                 std::uint16_t pc_tag, std::uint32_t first_pc,
+                                 CoreId requester) = 0;
+};
+
+struct AccessOutcome {
+  Cycle latency = 0;
+  /// The requesting core's own transaction had to abort because a
+  /// speculative line would have been evicted (capacity).
+  bool capacity_abort = false;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const MemConfig& cfg, MachineStats& stats);
+
+  void set_conflict_sink(ConflictSink* sink) { sink_ = sink; }
+
+  /// Cached access by core `c`. When `transactional` is set, the touched
+  /// line joins the core's read/write set and (on its first speculative
+  /// access) records `pc`. The access must not cross a cache line.
+  AccessOutcome access(CoreId c, Addr addr, unsigned size, AccessKind kind,
+                       bool transactional, std::uint32_t pc);
+
+  /// Lazy-HTM transactional store (future-work §8 of the paper): fetches
+  /// the line like a load (remote copies survive; no conflicts fire) and
+  /// marks it speculatively written locally. Conflict detection is deferred
+  /// to publish_line() at commit.
+  AccessOutcome tx_store_lazy(CoreId c, Addr addr, unsigned size,
+                              std::uint32_t pc);
+
+  /// Commit-time publication of one speculatively written line under lazy
+  /// conflict detection: aborts remote transactions holding the line
+  /// speculatively (committer wins), invalidates every other copy, and
+  /// upgrades the committer's copy to Modified. Returns the latency.
+  Cycle publish_line(CoreId c, Addr line);
+
+  /// Line addresses currently marked tx_write in core c's L1.
+  std::vector<Addr> speculative_written_lines(CoreId c) const;
+
+  /// Ends speculation for core c. With `invalidate_written`, speculatively
+  /// written lines are dropped (abort); otherwise they stay valid (commit).
+  void clear_speculative(CoreId c, bool invalidate_written);
+
+  /// Number of speculative lines currently held by core c.
+  unsigned speculative_lines(CoreId c) const;
+
+  const MemConfig& config() const { return cfg_; }
+
+  // --- introspection for tests ---
+  const L1Line* peek_l1(CoreId c, Addr line) const { return l1_[c]->find(line); }
+  std::uint32_t dir_sharers(Addr line) const;
+  int dir_owner(Addr line) const;
+  /// Aborts the process if a directory/L1 consistency invariant is broken.
+  void check_invariants() const;
+
+ private:
+  struct DirEntry {
+    std::uint32_t sharers = 0;
+    int owner = -1;
+  };
+
+  /// Checks a remote core's copy for a transactional conflict with a request
+  /// of `kind`; aborts the remote transaction if so. Returns true when a
+  /// conflict was found.
+  bool conflict_check(CoreId remote, Addr line, AccessKind kind,
+                      CoreId requester);
+
+  /// Invalidates `line` in `remote`'s L1 and in the directory.
+  void invalidate_remote(CoreId remote, Addr line, DirEntry& d);
+
+  /// Removes core c's copy of `line` from the directory bookkeeping.
+  void dir_drop(CoreId c, Addr line);
+
+  Cycle fill_latency(CoreId c, Addr line);
+
+  MemConfig cfg_;
+  MachineStats& stats_;
+  ConflictSink* sink_ = nullptr;
+  std::vector<std::unique_ptr<L1Cache>> l1_;
+  std::vector<std::unique_ptr<TagCache>> l2_;
+  TagCache l3_;
+  std::unordered_map<Addr, DirEntry> dir_;
+};
+
+}  // namespace st::sim

@@ -1,0 +1,75 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace st::sim {
+
+CoreStats MachineStats::total() const {
+  CoreStats t;
+  for (const auto& c : per_core_) {
+    t.commits += c.commits;
+    t.aborts_conflict += c.aborts_conflict;
+    t.aborts_capacity += c.aborts_capacity;
+    t.aborts_explicit += c.aborts_explicit;
+    t.aborts_glock += c.aborts_glock;
+    t.irrevocable_entries += c.irrevocable_entries;
+    t.cycles_useful_tx += c.cycles_useful_tx;
+    t.cycles_wasted_tx += c.cycles_wasted_tx;
+    t.cycles_lock_wait += c.cycles_lock_wait;
+    t.cycles_backoff += c.cycles_backoff;
+    t.cycles_irrevocable += c.cycles_irrevocable;
+    t.cycles_nontx += c.cycles_nontx;
+    t.tx_instrs += c.tx_instrs;
+    t.tx_mem_ops += c.tx_mem_ops;
+    t.alp_executed += c.alp_executed;
+    t.alp_acquires += c.alp_acquires;
+    t.alp_timeouts += c.alp_timeouts;
+    t.anchor_id_correct += c.anchor_id_correct;
+    t.anchor_id_wrong += c.anchor_id_wrong;
+    t.l1_hits += c.l1_hits;
+    t.l1_misses += c.l1_misses;
+  }
+  return t;
+}
+
+void MachineStats::record_abort(const AbortRecord& r) {
+  if (abort_trace_.size() < kTraceCap) abort_trace_.push_back(r);
+}
+
+namespace {
+template <typename Key, typename Get>
+double topk_fraction(const std::vector<AbortRecord>& trace, Get get,
+                     unsigned k) {
+  if (trace.empty()) return 0.0;
+  std::unordered_map<Key, std::uint64_t> freq;
+  for (const auto& r : trace) ++freq[get(r)];
+  std::vector<std::uint64_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [key, v] : freq) {
+    (void)key;
+    counts.push_back(v);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < k && i < counts.size(); ++i) sum += counts[i];
+  return static_cast<double>(sum) / static_cast<double>(trace.size());
+}
+}  // namespace
+
+double MachineStats::conflict_addr_locality() const {
+  return topk_fraction<Addr>(
+      abort_trace_, [](const AbortRecord& r) { return r.conflict_line; }, 1);
+}
+
+double MachineStats::conflict_pc_locality() const {
+  return topk_fraction<std::uint32_t>(
+      abort_trace_, [](const AbortRecord& r) { return r.true_first_pc; }, 3);
+}
+
+void MachineStats::clear() {
+  for (auto& c : per_core_) c = CoreStats{};
+  abort_trace_.clear();
+}
+
+}  // namespace st::sim

@@ -1,0 +1,94 @@
+// Statistics gathered by the simulator, the HTM, and the runtime.
+//
+// Counters live here (rather than in each subsystem) so that benchmark
+// harnesses can snapshot and diff a single object, and so that the
+// locality-of-contention metrics of Table 1 (LA / LP) can be computed from
+// one abort trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace st::sim {
+
+struct CoreStats {
+  // Transaction outcomes.
+  std::uint64_t commits = 0;
+  std::uint64_t aborts_conflict = 0;
+  std::uint64_t aborts_capacity = 0;
+  std::uint64_t aborts_explicit = 0;
+  std::uint64_t aborts_glock = 0;  // lazy-subscription aborts
+  std::uint64_t irrevocable_entries = 0;
+
+  // Cycle breakdown.
+  std::uint64_t cycles_useful_tx = 0;    // attempts that committed
+  std::uint64_t cycles_wasted_tx = 0;    // attempts that aborted
+  std::uint64_t cycles_lock_wait = 0;    // spinning on an advisory lock
+  std::uint64_t cycles_backoff = 0;      // polite backoff between retries
+  std::uint64_t cycles_irrevocable = 0;  // global-lock serial execution
+  std::uint64_t cycles_nontx = 0;        // outside transactions
+
+  // Execution volume.
+  std::uint64_t tx_instrs = 0;   // IR instructions retired inside txns
+  std::uint64_t tx_mem_ops = 0;  // transactional loads/stores issued
+
+  // Instrumentation behaviour.
+  std::uint64_t alp_executed = 0;        // ALPoint sites reached
+  std::uint64_t alp_acquires = 0;        // advisory locks taken
+  std::uint64_t alp_timeouts = 0;        // gave up waiting
+  std::uint64_t anchor_id_correct = 0;   // abort -> anchor mapping matched truth
+  std::uint64_t anchor_id_wrong = 0;
+
+  // Memory system.
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+
+  std::uint64_t total_aborts() const {
+    return aborts_conflict + aborts_capacity + aborts_explicit + aborts_glock;
+  }
+};
+
+/// One record per contention abort; feeds the LA/LP locality metrics and the
+/// anchor-identification accuracy measurement.
+struct AbortRecord {
+  CoreId victim = 0;
+  Addr conflict_line = 0;
+  std::uint32_t true_first_pc = 0;  // ground truth from the simulator
+  std::uint16_t pc_tag = 0;         // what 12-bit hardware would report
+  Cycle at = 0;
+};
+
+class MachineStats {
+ public:
+  explicit MachineStats(unsigned cores) : per_core_(cores) {}
+
+  CoreStats& core(CoreId c) { return per_core_[c]; }
+  const CoreStats& core(CoreId c) const { return per_core_[c]; }
+  unsigned cores() const { return static_cast<unsigned>(per_core_.size()); }
+
+  /// Sum of all per-core counters.
+  CoreStats total() const;
+
+  void record_abort(const AbortRecord& r);
+  const std::vector<AbortRecord>& abort_trace() const { return abort_trace_; }
+
+  /// Fraction of contention aborts attributable to the single most frequent
+  /// conflicting line ("locality of contention addresses", Table 1 LA).
+  double conflict_addr_locality() const;
+  /// Fraction attributable to the top-3 initial-access PCs (Table 1 LP).
+  /// Top-3 rather than top-1: a program has one dominant anchor per atomic
+  /// block, and the paper judges locality per block.
+  double conflict_pc_locality() const;
+
+  void clear();
+
+ private:
+  std::vector<CoreStats> per_core_;
+  std::vector<AbortRecord> abort_trace_;
+  static constexpr std::size_t kTraceCap = 1u << 20;
+};
+
+}  // namespace st::sim

@@ -1,0 +1,28 @@
+// Fundamental simulator types shared across all layers.
+#pragma once
+
+#include <cstdint>
+
+namespace st::sim {
+
+/// 64-bit simulated virtual address. Address 0 is the null pointer.
+using Addr = std::uint64_t;
+
+/// Simulated processor cycle count.
+using Cycle = std::uint64_t;
+
+/// Core (= hardware thread) identifier, dense from 0.
+using CoreId = unsigned;
+
+inline constexpr unsigned kLineShift = 6;
+inline constexpr Addr kLineBytes = 64;
+
+/// Address of the cache line containing `a`.
+inline constexpr Addr line_addr(Addr a) { return a & ~(kLineBytes - 1); }
+
+/// Dense line index (address >> 6).
+inline constexpr Addr line_index(Addr a) { return a >> kLineShift; }
+
+inline constexpr Addr kNullAddr = 0;
+
+}  // namespace st::sim

@@ -1,0 +1,43 @@
+#include "stagger/abcontext.hpp"
+
+#include "common/check.hpp"
+
+namespace st::stagger {
+
+ABContext::ABContext(const UnifiedAnchorTable* table, unsigned history_len)
+    : table_(table), ring_(history_len) {
+  ST_CHECK(history_len >= 1);
+}
+
+void ABContext::append_history(std::uint32_t anchor_alp, sim::Addr conf_line) {
+  ring_[pos_] = AbortHistoryEntry{anchor_alp, conf_line};
+  pos_ = (pos_ + 1) % ring_.size();
+  if (len_ < ring_.size()) ++len_;
+}
+
+unsigned ABContext::count_addr(sim::Addr conf_line) const {
+  if (conf_line == 0) return 0;
+  unsigned n = 0;
+  for (unsigned i = 0; i < len_; ++i)
+    if (history_at(i).conf_line == conf_line) ++n;
+  return n;
+}
+
+unsigned ABContext::count_pc(std::uint32_t anchor_alp) const {
+  if (anchor_alp == 0) return 0;
+  unsigned n = 0;
+  for (unsigned i = 0; i < len_; ++i)
+    if (history_at(i).anchor_alp == anchor_alp) ++n;
+  return n;
+}
+
+const AbortHistoryEntry& ABContext::history_at(unsigned i) const {
+  ST_CHECK(i < len_);
+  // Oldest entry sits `len_` slots behind the write cursor.
+  const unsigned idx =
+      (pos_ + static_cast<unsigned>(ring_.size()) - len_ + i) %
+      static_cast<unsigned>(ring_.size());
+  return ring_[idx];
+}
+
+}  // namespace st::stagger

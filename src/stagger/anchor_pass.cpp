@@ -1,0 +1,218 @@
+#include "stagger/anchor_pass.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "ir/callgraph.hpp"
+#include "ir/domtree.hpp"
+
+namespace st::stagger {
+
+using dsa::DSGraph;
+using dsa::DSNode;
+
+AnchorPass::AnchorPass(ir::Module& m, dsa::ModuleDsa& dsa) : m_(m), dsa_(dsa) {}
+
+void AnchorPass::build_local_tables() {
+  ir::CallGraph cg(m_);
+  std::unordered_set<const ir::Function*> wanted;
+  for (const ir::Function* ab : m_.atomic_blocks())
+    for (const ir::Function* f : cg.reachable_from(ab)) wanted.insert(f);
+  for (const ir::Function* f : wanted)
+    if (!locals_.count(f)) build_local_table(*f);
+}
+
+void AnchorPass::build_local_table(const ir::Function& f) {
+  auto table = std::make_unique<LocalAnchorTable>();
+  table->func = &f;
+  const ir::DomTree dt(f);
+  const dsa::FuncInfo& fi = dsa_.info(&f);
+
+  // Instruction positions for instruction-level dominance queries.
+  struct Pos {
+    const ir::BasicBlock* bb;
+    std::size_t idx;
+  };
+  std::unordered_map<const ir::Instr*, Pos> pos;
+  for (const auto& bb : f.blocks()) {
+    std::size_t i = 0;
+    for (const auto& ins : bb->instrs()) pos.emplace(&ins, Pos{bb.get(), i++});
+  }
+
+  // Stage 1 (Algorithm 1, lines 3–14): classify loads/stores walking the
+  // dominator tree depth-first.
+  std::unordered_map<const DSNode*, std::vector<ATEntry*>> by_node;
+  for (const ir::BasicBlock* bb : dt.dfs_preorder()) {
+    for (const ir::Instr& ins : bb->instrs()) {
+      if (ins.op != ir::Op::Load && ins.op != ir::Op::Store) continue;
+      DSNode* node = dsa_.access_node(&f, &ins);
+      table->entries.push_back(ATEntry{});
+      ATEntry& e = table->entries.back();
+      e.inst = &ins;
+      e.func = &f;
+      e.node = node;
+      const Pos& p = pos.at(&ins);
+      const ATEntry* dominating = nullptr;
+      for (const ATEntry* m : by_node[node]) {
+        const Pos& mp = pos.at(m->inst);
+        if (dt.dominates(mp.bb, mp.idx, p.bb, p.idx)) {
+          dominating = m;
+          break;
+        }
+      }
+      if (dominating != nullptr) {
+        e.is_anchor = false;
+        e.pioneer = dominating->is_anchor ? dominating : dominating->pioneer;
+        ST_CHECK(e.pioneer != nullptr && e.pioneer->is_anchor);
+      } else {
+        e.is_anchor = true;
+      }
+      by_node[node].push_back(&e);
+      table->by_inst.emplace(&ins, &e);
+    }
+  }
+
+  // Stage 2 (lines 15–19): parent relationship from DSA edges. An anchor on
+  // node T gets as parent the node N holding a pointer field that reaches T.
+  // Self-edges (e.g. list->next) are skipped so that a recursive structure's
+  // parent is the node it hangs off, not itself; ties break by node id for
+  // determinism.
+  for (auto& e : table->entries) {
+    if (!e.is_anchor) continue;
+    const DSNode* target = DSGraph::resolve(e.node);
+    const DSNode* best = nullptr;
+    fi.graph.for_each_rep([&](const DSNode& n) {
+      const DSNode* nr = DSGraph::resolve(&n);
+      if (nr == target) return;
+      for (const auto& [off, t] : nr->edges) {
+        (void)off;
+        if (DSGraph::resolve(t) == target) {
+          if (best == nullptr || nr->id < best->id) best = nr;
+          break;
+        }
+      }
+    });
+    e.parent_node = const_cast<DSNode*>(best);
+  }
+
+  locals_.emplace(&f, std::move(table));
+}
+
+unsigned AnchorPass::total_loads_stores() const {
+  unsigned n = 0;
+  for (const auto& [f, t] : locals_) {
+    (void)f;
+    n += t->load_store_count();
+  }
+  return n;
+}
+
+unsigned AnchorPass::total_anchors() const {
+  unsigned n = 0;
+  for (const auto& [f, t] : locals_) {
+    (void)f;
+    n += t->anchor_count();
+  }
+  return n;
+}
+
+void AnchorPass::emit_function(const ir::Function* f,
+                               const Translation* translation,
+                               std::vector<PendingEntry>& pending,
+                               unsigned depth) const {
+  ST_CHECK_MSG(depth < 64, "call tree too deep (recursion?)");
+  const LocalAnchorTable& lt = *locals_.at(f);
+  const dsa::FuncInfo& fi = dsa_.info(f);
+
+  auto translate = [&](DSNode* n) -> const DSNode* {
+    const DSNode* r = DSGraph::resolve(n);
+    if (translation == nullptr) return r;
+    auto it = translation->find(r);
+    ST_CHECK_MSG(it != translation->end(), "untranslatable DSNode");
+    return DSGraph::resolve(it->second);
+  };
+
+  for (const ATEntry& e : lt.entries) {
+    PendingEntry p;
+    p.entry.pc = e.inst->pc;
+    p.entry.is_anchor = e.is_anchor;
+    p.entry.alp_id = e.is_anchor ? e.alp_id : 0;
+    p.entry.pioneer_alp = e.is_anchor ? e.alp_id : e.pioneer->alp_id;
+    p.root_node = translate(e.node);
+    if (e.is_anchor && e.parent_node != nullptr)
+      p.parent_root = translate(e.parent_node);
+    pending.push_back(p);
+  }
+
+  // Top-down: clone callee tables through the call-site node maps.
+  for (const auto& bb : f->blocks()) {
+    for (const auto& ins : bb->instrs()) {
+      if (ins.op != ir::Op::Call) continue;
+      auto mit = fi.callsite_map.find(&ins);
+      ST_CHECK_MSG(mit != fi.callsite_map.end(), "call site without DSA map");
+      // Compose: callee node -> caller node -> root node.
+      Translation composed;
+      composed.reserve(mit->second.size());
+      for (const auto& [callee_node, caller_node] : mit->second) {
+        composed.emplace(callee_node,
+                         const_cast<DSNode*>(translate(caller_node)));
+      }
+      emit_function(ins.callee, &composed, pending, depth + 1);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<UnifiedAnchorTable>>
+AnchorPass::build_unified_tables(unsigned tag_bits) const {
+  ST_CHECK_MSG(m_.finalized(), "module must be finalized (PCs assigned)");
+  std::vector<std::unique_ptr<UnifiedAnchorTable>> out;
+  for (unsigned ab = 0; ab < m_.atomic_blocks().size(); ++ab) {
+    const ir::Function* root = m_.atomic_blocks()[ab];
+    std::vector<PendingEntry> pending;
+    emit_function(root, nullptr, pending, 0);
+
+    // Representative anchor per root-graph node (first anchor wins).
+    std::unordered_map<const DSNode*, std::uint32_t> rep;
+    for (const PendingEntry& p : pending)
+      if (p.entry.is_anchor) rep.emplace(p.root_node, p.entry.alp_id);
+
+    // Fallback parents from the root graph for anchors whose local table
+    // had none (e.g. pointers received via function arguments, §3.3).
+    const dsa::FuncInfo& ri = dsa_.info(root);
+    auto find_pred = [&](const DSNode* u) -> const DSNode* {
+      const DSNode* best = nullptr;
+      ri.graph.for_each_rep([&](const DSNode& n) {
+        const DSNode* nr = DSGraph::resolve(&n);
+        if (nr == u) return;
+        for (const auto& [off, t] : nr->edges) {
+          (void)off;
+          if (DSGraph::resolve(t) == u) {
+            if (best == nullptr || nr->id < best->id) best = nr;
+            break;
+          }
+        }
+      });
+      return best;
+    };
+
+    auto table = std::make_unique<UnifiedAnchorTable>();
+    table->atomic_block_id = ab;
+    table->set_tag_bits(tag_bits);
+    for (PendingEntry& p : pending) {
+      if (p.entry.is_anchor) {
+        const DSNode* parent = p.parent_root;
+        if (parent == nullptr) parent = find_pred(p.root_node);
+        if (parent != nullptr && parent != p.root_node) {
+          auto it = rep.find(parent);
+          if (it != rep.end() && it->second != p.entry.alp_id)
+            p.entry.parent_alp = it->second;
+        }
+      }
+      table->add(p.entry);
+    }
+    out.push_back(std::move(table));
+  }
+  return out;
+}
+
+}  // namespace st::stagger

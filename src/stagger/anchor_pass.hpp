@@ -1,0 +1,72 @@
+// The staggered-transactions compiler pass (paper §3).
+//
+// Pipeline (driven by stagger::compile() in instrument.hpp):
+//   1. DSA over the module (local + bottom-up).
+//   2. Local anchor tables per function reachable from any atomic block
+//      (Algorithm 1: dominator-tree DFS classifies loads/stores as
+//      anchors/non-anchors; DSA edges provide anchor parents).
+//   3. Instrumentation inserts an ALPoint before every anchor.
+//   4. Module::finalize() assigns PCs ("binary layout").
+//   5. Unified, PC-indexed anchor tables are emitted per atomic block by
+//      cloning/merging local tables through the call tree, translating
+//      DSNodes via the bottom-up call-site maps (context-sensitive).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "stagger/anchor_table.hpp"
+
+namespace st::stagger {
+
+class AnchorPass {
+ public:
+  AnchorPass(ir::Module& m, dsa::ModuleDsa& dsa);
+
+  /// Step 2: builds local anchor tables for every function reachable from
+  /// an atomic block.
+  void build_local_tables();
+
+  bool has_local_table(const ir::Function* f) const {
+    return locals_.count(f) != 0;
+  }
+  LocalAnchorTable& local_table(const ir::Function* f) {
+    return *locals_.at(f);
+  }
+  const LocalAnchorTable& local_table(const ir::Function* f) const {
+    return *locals_.at(f);
+  }
+
+  /// Step 5: emits one unified anchor table per atomic block (module must be
+  /// finalized and instrumented).
+  std::vector<std::unique_ptr<UnifiedAnchorTable>> build_unified_tables(
+      unsigned tag_bits) const;
+
+  ir::Module& module() { return m_; }
+  dsa::ModuleDsa& dsa() { return dsa_; }
+
+  /// Total loads/stores analyzed and anchors selected (Table 3 statics).
+  unsigned total_loads_stores() const;
+  unsigned total_anchors() const;
+
+ private:
+  /// An entry plus the root-graph nodes needed to resolve parents later.
+  struct PendingEntry {
+    UnifiedEntry entry;
+    const dsa::DSNode* root_node = nullptr;
+    const dsa::DSNode* parent_root = nullptr;
+  };
+  using Translation = std::unordered_map<const dsa::DSNode*, dsa::DSNode*>;
+
+  void build_local_table(const ir::Function& f);
+  void emit_function(const ir::Function* f, const Translation* translation,
+                     std::vector<PendingEntry>& pending, unsigned depth) const;
+
+  ir::Module& m_;
+  dsa::ModuleDsa& dsa_;
+  std::unordered_map<const ir::Function*, std::unique_ptr<LocalAnchorTable>>
+      locals_;
+};
+
+}  // namespace st::stagger

@@ -1,0 +1,35 @@
+#include "stagger/anchor_table.hpp"
+
+namespace st::stagger {
+
+unsigned LocalAnchorTable::anchor_count() const {
+  unsigned n = 0;
+  for (const auto& e : entries)
+    if (e.is_anchor) ++n;
+  return n;
+}
+
+void UnifiedAnchorTable::add(UnifiedEntry e) {
+  const std::size_t idx = entries_.size();
+  by_pc_.emplace(e.pc, idx);  // first entry for a PC wins (context collision)
+  by_tag_.emplace(tag_of(e.pc), idx);
+  if (e.is_anchor && e.parent_alp != 0) parent_.emplace(e.alp_id, e.parent_alp);
+  entries_.push_back(e);
+}
+
+const UnifiedEntry* UnifiedAnchorTable::lookup_pc(std::uint32_t pc) const {
+  auto it = by_pc_.find(pc);
+  return it == by_pc_.end() ? nullptr : &entries_[it->second];
+}
+
+const UnifiedEntry* UnifiedAnchorTable::lookup_tag(std::uint16_t tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? nullptr : &entries_[it->second];
+}
+
+std::uint32_t UnifiedAnchorTable::parent_of(std::uint32_t alp_id) const {
+  auto it = parent_.find(alp_id);
+  return it == parent_.end() ? 0 : it->second;
+}
+
+}  // namespace st::stagger

@@ -1,0 +1,92 @@
+// Anchor tables (paper §3.2–§3.4).
+//
+// A *local* anchor table describes every transactional load/store of one
+// function: whether it is an anchor (the first access to its DSNode on some
+// path), its pioneer (the dominating anchor of the same node, for
+// non-anchors), and — for anchors — the DSNode through which a pointer to
+// its node was loaded (the parent relation).
+//
+// A *unified* anchor table merges, per atomic block, the local tables of
+// every function the block calls, translating DSNodes through the per-call-
+// site maps of the bottom-up DSA stage. It is indexed by PC (and, for the
+// hardware view, by truncated PC tag) so the runtime can map a conflicting
+// PC back to the ALP to activate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "dsa/bottomup.hpp"
+#include "ir/module.hpp"
+
+namespace st::stagger {
+
+/// One load/store in a function's local anchor table (paper: ATEntry).
+struct ATEntry {
+  const ir::Instr* inst = nullptr;
+  const ir::Function* func = nullptr;
+  bool is_anchor = false;
+  const ATEntry* pioneer = nullptr;     // non-anchors: dominating anchor
+  dsa::DSNode* node = nullptr;          // DSNode of the pointer operand
+  dsa::DSNode* parent_node = nullptr;   // anchors: node whose edge reaches us
+  std::uint32_t alp_id = 0;             // assigned by instrumentation
+};
+
+struct LocalAnchorTable {
+  const ir::Function* func = nullptr;
+  std::deque<ATEntry> entries;  // deque: stable addresses for pioneer links
+  std::unordered_map<const ir::Instr*, ATEntry*> by_inst;
+
+  unsigned anchor_count() const;
+  unsigned load_store_count() const {
+    return static_cast<unsigned>(entries.size());
+  }
+};
+
+/// One row of a unified (per-atomic-block) anchor table, as shipped to the
+/// runtime.
+struct UnifiedEntry {
+  std::uint32_t pc = 0;
+  bool is_anchor = false;
+  std::uint32_t alp_id = 0;      // anchors: own ALP; non-anchors: 0
+  std::uint32_t pioneer_alp = 0; // the ALP representing this access's node
+  std::uint32_t parent_alp = 0;  // 0 = no parent
+};
+
+class UnifiedAnchorTable {
+ public:
+  unsigned atomic_block_id = 0;
+
+  void add(UnifiedEntry e);
+
+  /// Exact lookup by full PC (used by the software CPC alternative's
+  /// bookkeeping and by tests).
+  const UnifiedEntry* lookup_pc(std::uint32_t pc) const;
+
+  /// Hardware-view lookup by truncated PC tag; collisions resolve to the
+  /// first entry registered with that tag (this inaccuracy is measured in
+  /// Table 3's "Accuracy" column).
+  const UnifiedEntry* lookup_tag(std::uint16_t tag) const;
+
+  /// Parent ALP of an anchor's ALP (0 = none): locking promotion (§5.2).
+  std::uint32_t parent_of(std::uint32_t alp_id) const;
+
+  void set_tag_bits(unsigned bits) { tag_bits_ = bits; }
+  unsigned tag_bits() const { return tag_bits_; }
+  std::uint16_t tag_of(std::uint32_t pc) const {
+    return static_cast<std::uint16_t>(pc & ((1u << tag_bits_) - 1));
+  }
+
+  const std::vector<UnifiedEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<UnifiedEntry> entries_;
+  std::unordered_map<std::uint32_t, std::size_t> by_pc_;
+  std::unordered_map<std::uint16_t, std::size_t> by_tag_;
+  std::unordered_map<std::uint32_t, std::uint32_t> parent_;
+  unsigned tag_bits_ = 12;
+};
+
+}  // namespace st::stagger

@@ -1,0 +1,53 @@
+#include "stagger/cpc_map.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace st::stagger {
+
+CpcMap::CpcMap(htm::HtmSystem& htm, unsigned slots_log2)
+    : htm_(htm), slots_per_thread_(1u << slots_log2) {
+  ST_CHECK(slots_log2 >= 4 && slots_log2 <= 20);
+  const unsigned cores = htm.mem().config().cores;
+  sim::Heap& heap = htm.heap();
+  base_.reserve(cores);
+  gen_.assign(cores, 1);
+  for (unsigned c = 0; c < cores; ++c)
+    base_.push_back(heap.alloc(c, std::size_t{slots_per_thread_} * 16, 64));
+}
+
+void CpcMap::begin_tx(sim::CoreId c) { ++gen_[c]; }
+
+sim::Cycle CpcMap::record(sim::CoreId c, sim::Addr data_addr,
+                          std::uint32_t alp_id) {
+  const sim::Addr line = sim::line_addr(data_addr);
+  const unsigned s = slot_of(line);
+  const sim::Addr key_addr = base_[c] + sim::Addr{s} * 16;
+  const auto key = htm_.nontx_load(c, key_addr, 8);
+  sim::Cycle cost = key.latency;
+  if (!key.ok) return cost;
+  const std::uint64_t val = htm_.heap().load(key_addr + 8, 8);
+  const bool present = key.value == line && (val >> 32) == gen_[c];
+  if (!present) {
+    cost += htm_.nontx_store(c, key_addr, line, 8).latency;
+    cost += htm_
+                .nontx_store(c, key_addr + 8,
+                             (gen_[c] << 32) | std::uint64_t{alp_id}, 8)
+                .latency;
+  }
+  return cost;
+}
+
+std::optional<std::uint32_t> CpcMap::lookup(sim::CoreId c,
+                                            sim::Addr line) const {
+  const unsigned s = slot_of(sim::line_addr(line));
+  const sim::Addr key_addr = base_[c] + sim::Addr{s} * 16;
+  sim::Heap& heap = htm_.heap();
+  if (heap.load(key_addr, 8) != sim::line_addr(line)) return std::nullopt;
+  const std::uint64_t val = heap.load(key_addr + 8, 8);
+  if ((val >> 32) != gen_[c]) return std::nullopt;
+  return static_cast<std::uint32_t>(val & 0xFFFFFFFFu);
+}
+
+}  // namespace st::stagger

@@ -1,0 +1,53 @@
+// Software alternative to hardware conflicting-PC tracking (paper §4).
+//
+// A per-thread map M, indexed by cache-line address, written with
+// nontransactional stores at every executed ALP: M(line(A)) = anchor id, if
+// the line was previously absent this transaction. When a conflict abort
+// arrives with only a data address (no hardware PC tag), M identifies the
+// ALP that first touched that line. The map lives in simulated memory so
+// its maintenance cost (one nontransactional load, plus a store on first
+// touch) is charged to the transaction — the "nontrivial overhead" the
+// paper measures as Staggered+SW.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "htm/htm.hpp"
+
+namespace st::stagger {
+
+class CpcMap {
+ public:
+  /// `slots_log2` buckets per thread; collisions overwrite (the map is a
+  /// heuristic, exactly as in the paper).
+  CpcMap(htm::HtmSystem& htm, unsigned slots_log2 = 8);
+
+  /// Called at transaction begin: invalidates the thread's entries (cheap
+  /// generation bump; no simulated-memory traffic).
+  void begin_tx(sim::CoreId c);
+
+  /// Called at each executed ALP. Returns the simulated cost.
+  sim::Cycle record(sim::CoreId c, sim::Addr data_addr, std::uint32_t alp_id);
+
+  /// Conflict-address -> anchor lookup on abort.
+  std::optional<std::uint32_t> lookup(sim::CoreId c, sim::Addr line) const;
+
+ private:
+  struct Slot {
+    sim::Addr key_addr = 0;   // simulated address of the key word
+    sim::Addr val_addr = 0;   // simulated address of the value word
+  };
+  unsigned slot_of(sim::Addr line) const {
+    return static_cast<unsigned>(mix64(line) & (slots_per_thread_ - 1));
+  }
+
+  htm::HtmSystem& htm_;
+  unsigned slots_per_thread_;
+  std::vector<sim::Addr> base_;        // per-core base of key/value array
+  std::vector<std::uint64_t> gen_;     // per-core generation
+};
+
+}  // namespace st::stagger

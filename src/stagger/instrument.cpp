@@ -1,0 +1,129 @@
+#include "stagger/instrument.hpp"
+
+#include "common/check.hpp"
+#include "ir/verifier.hpp"
+
+namespace st::stagger {
+
+namespace {
+
+/// Inserts `alp` right before `anchor` in its block. Instr* held by the
+/// analyses stay valid because blocks store instructions in a std::list.
+void insert_before(ir::Function* f, const ir::Instr* anchor, ir::Instr alp) {
+  for (auto& bb : f->blocks()) {
+    auto& ins = bb->instrs();
+    for (auto it = ins.begin(); it != ins.end(); ++it) {
+      if (&*it == anchor) {
+        ins.insert(it, std::move(alp));
+        return;
+      }
+    }
+  }
+  ST_CHECK_MSG(false, "anchor instruction not found in its function");
+}
+
+ir::Instr make_alpoint(std::uint32_t alp_id, ir::Reg data_addr) {
+  ir::Instr alp;
+  alp.op = ir::Op::AlPoint;
+  alp.alp_id = alp_id;
+  alp.a = data_addr;
+  return alp;
+}
+
+}  // namespace
+
+unsigned instrument_anchors(AnchorPass& pass) {
+  std::uint32_t next_id = 1;
+  for (const auto& f : pass.module().functions()) {
+    if (!pass.has_local_table(f.get())) continue;
+    LocalAnchorTable& lt = pass.local_table(f.get());
+    for (ATEntry& e : lt.entries) {
+      if (!e.is_anchor) continue;
+      e.alp_id = next_id++;
+      insert_before(f.get(), e.inst, make_alpoint(e.alp_id, e.inst->a));
+    }
+  }
+  return next_id - 1;
+}
+
+unsigned instrument_every_access(AnchorPass& pass) {
+  std::uint32_t next_id = 1;
+  for (const auto& f : pass.module().functions()) {
+    if (!pass.has_local_table(f.get())) continue;
+    LocalAnchorTable& lt = pass.local_table(f.get());
+    for (ATEntry& e : lt.entries) {
+      e.alp_id = next_id++;
+      // Every entry acts as its own anchor for the naive scheme so the
+      // unified table still resolves pioneers.
+      e.is_anchor = true;
+      e.pioneer = nullptr;
+      insert_before(f.get(), e.inst, make_alpoint(e.alp_id, e.inst->a));
+    }
+  }
+  return next_id - 1;
+}
+
+std::vector<std::uint32_t> instrument_entry_only(ir::Module& m) {
+  std::vector<std::uint32_t> out;
+  std::uint32_t next_id = 1;
+  for (ir::Function* ab : m.atomic_blocks()) {
+    ir::BasicBlock* entry = ab->entry();
+    ST_CHECK(entry != nullptr && !entry->instrs().empty());
+    // The fixed ALP has no associated data access; the runtime substitutes
+    // the remembered conflict address (register operand reads as 0).
+    ir::Instr zero;
+    zero.op = ir::Op::ConstI;
+    zero.dst = ab->fresh_reg();
+    zero.imm = 0;
+    auto it = entry->instrs().begin();
+    it = entry->instrs().insert(it, std::move(zero));
+    entry->instrs().insert(std::next(it),
+                           make_alpoint(next_id, entry->instrs().front().dst));
+    out.push_back(next_id++);
+  }
+  return out;
+}
+
+CompiledProgram compile(ir::Module& m, InstrumentMode mode,
+                        unsigned tag_bits) {
+  ST_CHECK_MSG(!m.finalized(), "compile() needs an unfinalized module");
+  ir::verify_or_die(m);
+
+  CompiledProgram out;
+  out.module = &m;
+  out.dsa = std::make_unique<dsa::ModuleDsa>(m);
+  out.pass = std::make_unique<AnchorPass>(m, *out.dsa);
+  out.pass->build_local_tables();
+  out.loads_stores_analyzed = out.pass->total_loads_stores();
+  out.anchors_selected = out.pass->total_anchors();
+
+  switch (mode) {
+    case InstrumentMode::kNone:
+      break;
+    case InstrumentMode::kAnchors:
+      out.alp_count = instrument_anchors(*out.pass);
+      break;
+    case InstrumentMode::kAll:
+      out.alp_count = instrument_every_access(*out.pass);
+      break;
+    case InstrumentMode::kEntryOnly:
+      out.entry_alps = instrument_entry_only(m);
+      out.alp_count = static_cast<unsigned>(out.entry_alps.size());
+      break;
+  }
+
+  m.finalize();
+  ir::verify_or_die(m);
+  if (mode == InstrumentMode::kAnchors || mode == InstrumentMode::kAll)
+    out.tables = out.pass->build_unified_tables(tag_bits);
+  else
+    for (unsigned ab = 0; ab < m.atomic_blocks().size(); ++ab) {
+      auto t = std::make_unique<UnifiedAnchorTable>();
+      t->atomic_block_id = ab;
+      t->set_tag_bits(tag_bits);
+      out.tables.push_back(std::move(t));
+    }
+  return out;
+}
+
+}  // namespace st::stagger

@@ -1,0 +1,50 @@
+// ALPoint insertion (paper §3.4) and the whole-pipeline driver.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "stagger/anchor_pass.hpp"
+
+namespace st::stagger {
+
+/// Inserts an AlPoint instruction immediately before every anchor in every
+/// local table, assigning dense ALP ids from 1. Returns the number of ALPs
+/// inserted. Must run before Module::finalize().
+unsigned instrument_anchors(AnchorPass& pass);
+
+/// Naive comparison scheme: one AlPoint before *every* transactional load
+/// and store reachable from an atomic block (Table 3's ">10% slowdown"
+/// strawman). Mutually exclusive with instrument_anchors on a module.
+unsigned instrument_every_access(AnchorPass& pass);
+
+/// "AddrOnly" comparison scheme (Fig. 7): one fixed ALP at the beginning of
+/// every atomic block; the runtime drives it in precise mode only. Returns
+/// the entry ALP id per atomic block (dense ids from 1).
+std::vector<std::uint32_t> instrument_entry_only(ir::Module& m);
+
+/// The compiled program as the runtime consumes it.
+struct CompiledProgram {
+  ir::Module* module = nullptr;
+  std::unique_ptr<dsa::ModuleDsa> dsa;
+  std::unique_ptr<AnchorPass> pass;
+  std::vector<std::unique_ptr<UnifiedAnchorTable>> tables;  // per atomic block
+  std::vector<std::uint32_t> entry_alps;  // kEntryOnly: ALP id per atomic block
+  unsigned alp_count = 0;
+  unsigned loads_stores_analyzed = 0;
+  unsigned anchors_selected = 0;
+};
+
+enum class InstrumentMode {
+  kNone,       // baseline HTM: no ALPs, empty tables
+  kAnchors,    // the paper's scheme
+  kAll,        // naive every-load/store scheme (Table 3 overhead strawman)
+  kEntryOnly,  // "AddrOnly": one fixed ALP per atomic block (Fig. 7)
+};
+
+/// Runs DSA -> anchor tables -> instrumentation -> finalize -> unified
+/// tables over a freshly built (unfinalized) module.
+CompiledProgram compile(ir::Module& m, InstrumentMode mode,
+                        unsigned tag_bits = 12);
+
+}  // namespace st::stagger

@@ -1,0 +1,19 @@
+// Factories for every benchmark workload (used by registry.cpp and tests).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace st::workloads {
+
+std::unique_ptr<Workload> make_list_lo();
+std::unique_ptr<Workload> make_list_hi();
+std::unique_ptr<Workload> make_tsp();
+std::unique_ptr<Workload> make_kmeans();
+std::unique_ptr<Workload> make_genome();
+std::unique_ptr<Workload> make_intruder();
+std::unique_ptr<Workload> make_vacation();
+std::unique_ptr<Workload> make_ssca2();
+std::unique_ptr<Workload> make_labyrinth();
+std::unique_ptr<Workload> make_memcached();
+
+}  // namespace st::workloads

@@ -1,0 +1,35 @@
+// Unbalanced binary search tree in TxIR (the vacation substitute for
+// STAMP's red–black trees; random keys keep expected depth logarithmic, and
+// the contention profile — read-shared upper levels, scattered leaf
+// updates — matches; see DESIGN.md substitutions).
+#pragma once
+
+#include "ir/builder.hpp"
+#include "sim/heap.hpp"
+
+namespace st::workloads::dslib {
+
+struct BstLib {
+  const ir::StructType* tree_t = nullptr;   // { root }
+  const ir::StructType* tnode_t = nullptr;  // { key, val, left, right }
+
+  ir::Function* find = nullptr;    // (tree*, key) -> node* (0 if absent)
+  ir::Function* insert = nullptr;  // (tree*, key, val) -> bool
+  ir::Function* lookup = nullptr;  // (tree*, key) -> val (0 if absent)
+  ir::Function* reserve = nullptr; // (tree*, key) -> bool: val>0 ? --val : fail
+  ir::Function* restore = nullptr; // (tree*, key) -> bool: ++val
+};
+
+BstLib build_bst_lib(ir::Module& m);
+
+// --- host-side helpers ---
+sim::Addr host_bst_new(sim::Heap& heap, unsigned arena, const BstLib& lib);
+void host_bst_insert(sim::Heap& heap, unsigned arena, const BstLib& lib,
+                     sim::Addr tree, std::int64_t key, std::int64_t val);
+std::int64_t host_bst_lookup(const sim::Heap& heap, const BstLib& lib,
+                             sim::Addr tree, std::int64_t key);
+/// Sum of all values (capacity conservation checks) and BST-order check.
+std::int64_t host_bst_sum_and_check(const sim::Heap& heap, const BstLib& lib,
+                                    sim::Addr tree);
+
+}  // namespace st::workloads::dslib

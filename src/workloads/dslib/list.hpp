@@ -1,0 +1,42 @@
+// Sorted singly-linked list (IntSet) and LIFO front-ops, in TxIR.
+//
+// The same library serves the list microbenchmarks, hash-table buckets
+// (genome/memcached/intruder) and priority-queue buckets (tsp) — call-site
+// cloning in the bottom-up DSA stage keeps each use context-sensitive.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "sim/heap.hpp"
+
+namespace st::workloads::dslib {
+
+struct ListLib {
+  const ir::StructType* list_t = nullptr;  // { head: *node }
+  const ir::StructType* node_t = nullptr;  // { key, val, next: *node }
+
+  ir::Function* find = nullptr;     // (list*, key) -> node* with node.key >= key, else 0
+  ir::Function* contains = nullptr; // (list*, key) -> bool
+  ir::Function* insert = nullptr;   // (list*, key, val) -> bool (false if present)
+  ir::Function* remove = nullptr;   // (list*, key) -> bool
+  ir::Function* push_front = nullptr;  // (list*, key, val) -> 0
+  ir::Function* pop_front = nullptr;   // (list*) -> val (0 when empty)
+};
+
+/// Adds the list types and functions to `m` (idempotent per module).
+ListLib build_list_lib(ir::Module& m);
+
+// --- host-side helpers (setup/verification; no simulated cycles) ---
+sim::Addr host_list_new(sim::Heap& heap, unsigned arena, const ListLib& lib);
+void host_list_push_sorted(sim::Heap& heap, unsigned arena, const ListLib& lib,
+                           sim::Addr list, std::int64_t key, std::int64_t val);
+std::vector<std::pair<std::int64_t, std::int64_t>> host_list_items(
+    const sim::Heap& heap, const ListLib& lib, sim::Addr list);
+/// Checks strict key ordering; returns the length.
+std::size_t host_list_check_sorted(const sim::Heap& heap, const ListLib& lib,
+                                   sim::Addr list);
+
+}  // namespace st::workloads::dslib

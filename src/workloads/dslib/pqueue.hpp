@@ -1,0 +1,32 @@
+// Bucketed priority queue in TxIR (the tsp task queue; DESIGN.md explains
+// the substitution for STAMP's B+-tree queue). Priorities map to buckets by
+// a right shift; pop scans buckets from the minimum, so — like the paper's
+// left-most B+-tree leaf — the head of the queue is the contention hot spot.
+// There is deliberately no `size` field (the paper removed it too).
+#pragma once
+
+#include "workloads/dslib/list.hpp"
+
+namespace st::workloads::dslib {
+
+struct PqLib {
+  const ir::StructType* pq_t = nullptr;       // { nbuckets, shift, buckets }
+  const ir::StructType* pbucketarr_t = nullptr;  // array of *list
+  ListLib list;
+
+  ir::Function* push = nullptr;  // (pq, prio, val) -> 0
+  ir::Function* pop = nullptr;   // (pq) -> val of a minimum-bucket task (0 = empty)
+};
+
+PqLib build_pq_lib(ir::Module& m, unsigned nbuckets);
+
+// --- host-side helpers ---
+sim::Addr host_pq_new(sim::Heap& heap, unsigned arena, const PqLib& lib,
+                      unsigned nbuckets, unsigned shift);
+void host_pq_push(sim::Heap& heap, unsigned arena, const PqLib& lib,
+                  sim::Addr pq, std::int64_t prio, std::int64_t val);
+/// Total queued entries (verification).
+std::size_t host_pq_size(const sim::Heap& heap, const PqLib& lib,
+                         sim::Addr pq);
+
+}  // namespace st::workloads::dslib

@@ -1,0 +1,163 @@
+#include "workloads/harness.hpp"
+
+#include "common/check.hpp"
+#include "runtime/tx_executor.hpp"
+
+namespace st::workloads {
+
+namespace {
+
+/// One simulated worker thread: interleaves non-transactional "think" work
+/// with atomic blocks run through the TxExecutor.
+class WorkloadThread final : public sim::CoreTask {
+ public:
+  WorkloadThread(runtime::TxSystem& sys, Workload& wl, unsigned thread,
+                 std::uint64_t ops)
+      : sys_(sys), wl_(wl), exec_(sys, thread), thread_(thread), ops_(ops) {}
+
+  sim::Cycle step(sim::Machine&, sim::CoreId) override {
+    if (finished_) return 1;
+    if (active_) {
+      if (!exec_.finished()) return exec_.step();
+      wl_.on_result(thread_, done_ops_, exec_.take_result());
+      active_ = false;
+      ++done_ops_;
+    }
+    if (done_ops_ >= ops_) {
+      finished_ = true;
+      return 1;
+    }
+    Workload::Op op = wl_.next_op(sys_, thread_, done_ops_);
+    sys_.stats().core(thread_).cycles_nontx += op.think;
+    exec_.start(op.ab_id, std::move(op.args));
+    active_ = true;
+    return op.think + 1;
+  }
+
+  bool done() const override { return finished_; }
+
+ private:
+  runtime::TxSystem& sys_;
+  Workload& wl_;
+  runtime::TxExecutor exec_;
+  unsigned thread_;
+  std::uint64_t ops_;
+  std::uint64_t done_ops_ = 0;
+  bool active_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+double RunResult::aborts_per_commit() const {
+  return totals.commits == 0 ? 0.0
+                             : static_cast<double>(totals.total_aborts()) /
+                                   static_cast<double>(totals.commits);
+}
+
+double RunResult::wasted_over_useful() const {
+  const auto useful = totals.cycles_useful_tx + totals.cycles_irrevocable;
+  return useful == 0 ? 0.0
+                     : static_cast<double>(totals.cycles_wasted_tx) /
+                           static_cast<double>(useful);
+}
+
+double RunResult::pct_irrevocable() const {
+  return totals.commits == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(totals.irrevocable_entries) /
+                   static_cast<double>(totals.commits);
+}
+
+double RunResult::pct_tm() const {
+  const auto tm = totals.cycles_useful_tx + totals.cycles_wasted_tx +
+                  totals.cycles_irrevocable + totals.cycles_lock_wait +
+                  totals.cycles_backoff;
+  const auto all = tm + totals.cycles_nontx;
+  return all == 0 ? 0.0
+                  : 100.0 * static_cast<double>(tm) / static_cast<double>(all);
+}
+
+double RunResult::anchor_accuracy() const {
+  const auto n = totals.anchor_id_correct + totals.anchor_id_wrong;
+  return n == 0 ? 1.0
+                : static_cast<double>(totals.anchor_id_correct) /
+                      static_cast<double>(n);
+}
+
+double RunResult::instrs_per_txn() const {
+  return totals.commits == 0 ? 0.0
+                             : static_cast<double>(totals.tx_instrs) /
+                                   static_cast<double>(totals.commits);
+}
+
+double RunResult::alps_per_txn() const {
+  return totals.commits == 0 ? 0.0
+                             : static_cast<double>(totals.alp_executed) /
+                                   static_cast<double>(totals.commits);
+}
+
+double RunResult::energy_estimate() const {
+  const auto& t = totals;
+  const double active = static_cast<double>(
+      t.cycles_useful_tx + t.cycles_wasted_tx + t.cycles_irrevocable +
+      t.cycles_nontx);
+  return active + 0.3 * static_cast<double>(t.cycles_lock_wait) +
+         0.2 * static_cast<double>(t.cycles_backoff);
+}
+
+RunResult run_workload(Workload& wl, const RunOptions& opt) {
+  ST_CHECK(opt.threads >= 1);
+  ir::Module m;
+  wl.build_ir(m);
+  const auto mode = opt.instrument_override.value_or(
+      runtime::instrument_mode_for(opt.scheme));
+  auto prog = stagger::compile(m, mode, opt.pc_tag_bits);
+
+  runtime::RuntimeConfig rt;
+  rt.cores = opt.threads;
+  rt.scheme = opt.scheme;
+  rt.seed = opt.seed;
+  rt.mem.pc_tag_bits = opt.pc_tag_bits;
+  rt.mem.lazy_conflicts = opt.lazy_htm;
+  rt.num_advisory_locks = opt.num_advisory_locks;
+  rt.lock_timeout = opt.lock_timeout;
+  rt.max_retries = opt.max_retries;
+  rt.history_len = opt.history_len;
+  rt.policy = opt.policy;
+  rt.policy.addr_only = opt.scheme == runtime::Scheme::kAddrOnly;
+
+  runtime::TxSystem sys(rt, prog);
+  wl.setup(sys);
+
+  const auto ops = static_cast<std::uint64_t>(
+      static_cast<double>(wl.ops_per_thread()) * opt.ops_scale);
+  ST_CHECK(ops >= 1);
+  for (unsigned t = 0; t < opt.threads; ++t)
+    sys.machine().set_task(
+        t, std::make_unique<WorkloadThread>(sys, wl, t, ops));
+
+  RunResult r;
+  r.cycles = sys.run();
+  wl.verify(sys);
+
+  r.workload = wl.name();
+  r.scheme = runtime::scheme_name(opt.scheme);
+  r.threads = opt.threads;
+  r.total_ops = ops * opt.threads;
+  r.totals = sys.stats().total();
+  r.conflict_addr_locality = sys.stats().conflict_addr_locality();
+  r.conflict_pc_locality = sys.stats().conflict_pc_locality();
+  r.static_loads_stores = prog.loads_stores_analyzed;
+  r.static_anchors = prog.anchors_selected;
+  r.atomic_blocks = static_cast<unsigned>(m.atomic_blocks().size());
+  return r;
+}
+
+RunResult run_workload(const std::string& name, const RunOptions& opt) {
+  auto wl = make_workload(name);
+  ST_CHECK_MSG(wl != nullptr, "unknown workload");
+  return run_workload(*wl, opt);
+}
+
+}  // namespace st::workloads

@@ -1,0 +1,71 @@
+// Experiment harness: runs a workload under a scheme on N simulated cores
+// and aggregates the statistics every table/figure needs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace st::workloads {
+
+struct RunOptions {
+  runtime::Scheme scheme = runtime::Scheme::kBaseline;
+  unsigned threads = 16;
+  std::uint64_t seed = 1;
+  double ops_scale = 1.0;       // scales Workload::ops_per_thread()
+  unsigned pc_tag_bits = 12;
+  unsigned num_advisory_locks = 256;
+  sim::Cycle lock_timeout = 2'000;
+  unsigned max_retries = 10;
+  unsigned history_len = 8;
+  bool lazy_htm = false;  // commit-time conflict detection (paper §8)
+  stagger::PolicyConfig policy;  // addr_only is set automatically
+  /// Override the instrumentation mode (default: what the scheme implies).
+  /// kAll + kStaggered reproduces Table 3's naive instrument-everything
+  /// comparison.
+  std::optional<stagger::InstrumentMode> instrument_override;
+};
+
+struct RunResult {
+  std::string workload;
+  std::string scheme;
+  unsigned threads = 0;
+  sim::Cycle cycles = 0;
+  std::uint64_t total_ops = 0;
+  sim::CoreStats totals;
+  double conflict_addr_locality = 0;  // Table 1 "LA"
+  double conflict_pc_locality = 0;    // Table 1 "LP"
+  unsigned static_loads_stores = 0;   // Table 3 statics
+  unsigned static_anchors = 0;
+  unsigned atomic_blocks = 0;
+
+  double throughput() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(total_ops) /
+                             static_cast<double>(cycles);
+  }
+  double aborts_per_commit() const;
+  double wasted_over_useful() const;
+  /// Fraction of committed atomic blocks that ran irrevocably (Table 1 %I).
+  double pct_irrevocable() const;
+  /// Fraction of cycles spent in transactional mode (Table 4 %TM).
+  double pct_tm() const;
+  /// Anchor-identification accuracy (Table 3).
+  double anchor_accuracy() const;
+  /// Mean IR instructions retired per committed transaction (Table 3 u-ops).
+  double instrs_per_txn() const;
+  /// Mean executed ALPs per committed transaction (Table 3 anchs/txn).
+  double alps_per_txn() const;
+  /// Relative energy estimate (§6.3): executing cycles at full power,
+  /// lock-wait spinning at ~30%, backoff idling at ~20%.
+  double energy_estimate() const;
+};
+
+/// Runs one experiment end-to-end: build IR -> compile with the scheme's
+/// instrumentation -> set up the machine -> run every thread's schedule ->
+/// verify -> aggregate.
+RunResult run_workload(Workload& wl, const RunOptions& opt);
+RunResult run_workload(const std::string& name, const RunOptions& opt);
+
+}  // namespace st::workloads

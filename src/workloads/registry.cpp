@@ -1,0 +1,24 @@
+#include "workloads/all.hpp"
+
+namespace st::workloads {
+
+const std::vector<std::pair<std::string, WorkloadFactory>>&
+workload_registry() {
+  // Ordered as in the paper's Table 4.
+  static const std::vector<std::pair<std::string, WorkloadFactory>> reg = {
+      {"genome", &make_genome},       {"intruder", &make_intruder},
+      {"kmeans", &make_kmeans},       {"labyrinth", &make_labyrinth},
+      {"ssca2", &make_ssca2},         {"vacation", &make_vacation},
+      {"list-lo", &make_list_lo},     {"list-hi", &make_list_hi},
+      {"tsp", &make_tsp},             {"memcached", &make_memcached},
+  };
+  return reg;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  for (const auto& [n, f] : workload_registry())
+    if (n == name) return f();
+  return nullptr;
+}
+
+}  // namespace st::workloads

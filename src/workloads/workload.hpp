@@ -1,0 +1,61 @@
+// Workload abstraction: a benchmark = IR (types, functions, atomic blocks)
+// + heap setup + a deterministic per-thread operation schedule + invariant
+// verification.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/tx_system.hpp"
+
+namespace st::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Step 1 — build the module (before stagger::compile()).
+  virtual void build_ir(ir::Module& m) = 0;
+
+  /// Step 2 — allocate and initialize shared data (after TxSystem exists).
+  virtual void setup(runtime::TxSystem& sys) = 0;
+
+  /// Step 3 — the `op_index`-th operation of `thread`.
+  struct Op {
+    unsigned ab_id = 0;
+    std::vector<std::uint64_t> args;
+    sim::Cycle think = 50;  // non-transactional work preceding the txn
+  };
+  virtual Op next_op(runtime::TxSystem& sys, unsigned thread,
+                     std::uint64_t op_index) = 0;
+
+  /// Called by the harness when an operation's atomic block committed,
+  /// with its return value (drives result-dependent schedules).
+  virtual void on_result(unsigned thread, std::uint64_t op_index,
+                         std::uint64_t result) {
+    (void)thread;
+    (void)op_index;
+    (void)result;
+  }
+
+  /// Operations each thread performs (before ops_scale).
+  virtual std::uint64_t ops_per_thread() const = 0;
+
+  /// Step 4 — check data-structure invariants after the run (aborts the
+  /// process on violation).
+  virtual void verify(runtime::TxSystem& sys) { (void)sys; }
+
+  /// Table 4 contention class, for reporting.
+  virtual const char* expected_contention() const { return "?"; }
+};
+
+using WorkloadFactory = std::unique_ptr<Workload> (*)();
+
+/// Name -> factory registry (workloads register in registry.cpp).
+const std::vector<std::pair<std::string, WorkloadFactory>>& workload_registry();
+std::unique_ptr<Workload> make_workload(const std::string& name);
+
+}  // namespace st::workloads

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+
+namespace st::sim {
+namespace {
+
+CacheGeometry tiny{4 * 64 * 2, 2};  // 4 sets x 2 ways
+
+Addr line_in_set(unsigned set, unsigned k, unsigned sets = 4) {
+  return (static_cast<Addr>(k) * sets + set) * kLineBytes;
+}
+
+TEST(L1Cache, FindMissesOnEmptyCache) {
+  L1Cache c(tiny);
+  EXPECT_EQ(c.find(line_in_set(0, 0)), nullptr);
+}
+
+TEST(L1Cache, VictimPrefersInvalidWay) {
+  L1Cache c(tiny);
+  L1Line* v = c.victim(line_in_set(1, 0));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->state, Coh::I);
+}
+
+TEST(L1Cache, InsertThenFind) {
+  L1Cache c(tiny);
+  const Addr l = line_in_set(2, 5);
+  L1Line* v = c.victim(l);
+  v->line = l;
+  v->state = Coh::S;
+  c.touch(*v);
+  EXPECT_EQ(c.find(l), v);
+  EXPECT_EQ(c.find(line_in_set(2, 6)), nullptr);
+}
+
+TEST(L1Cache, VictimEvictsLruWhenSetFull) {
+  L1Cache c(tiny);
+  const Addr a = line_in_set(0, 1), b = line_in_set(0, 2);
+  for (Addr l : {a, b}) {
+    L1Line* v = c.victim(l);
+    v->line = l;
+    v->state = Coh::S;
+    c.touch(*v);
+  }
+  c.touch(*c.find(a));  // refresh a; b becomes LRU
+  L1Line* v = c.victim(line_in_set(0, 3));
+  EXPECT_EQ(v->line, b);
+}
+
+TEST(L1Cache, VictimPrefersNonSpeculativeOverLruSpeculative) {
+  L1Cache c(tiny);
+  const Addr a = line_in_set(0, 1), b = line_in_set(0, 2);
+  L1Line* va = c.victim(a);
+  va->line = a;
+  va->state = Coh::S;
+  va->tx_read = true;  // speculative, oldest
+  c.touch(*va);
+  L1Line* vb = c.victim(b);
+  vb->line = b;
+  vb->state = Coh::S;
+  c.touch(*vb);
+  // b is newer but non-speculative: it must be chosen over speculative a.
+  EXPECT_EQ(c.victim(line_in_set(0, 3))->line, b);
+}
+
+TEST(L1Cache, SetFullOfSpeculativeDetection) {
+  L1Cache c(tiny);
+  const Addr probe = line_in_set(3, 9);
+  EXPECT_FALSE(c.set_full_of_speculative(probe));
+  for (unsigned k = 0; k < 2; ++k) {
+    const Addr l = line_in_set(3, k);
+    L1Line* v = c.victim(l);
+    v->line = l;
+    v->state = Coh::M;
+    v->tx_write = true;
+    c.touch(*v);
+  }
+  EXPECT_TRUE(c.set_full_of_speculative(probe));
+}
+
+TEST(L1Cache, ForEachValidVisitsExactlyValidLines) {
+  L1Cache c(tiny);
+  for (unsigned k = 0; k < 3; ++k) {
+    const Addr l = line_in_set(k % 4, k);
+    L1Line* v = c.victim(l);
+    v->line = l;
+    v->state = Coh::E;
+    c.touch(*v);
+  }
+  unsigned n = 0;
+  c.for_each_valid([&](L1Line&) { ++n; });
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(TagCache, MissThenHit) {
+  TagCache t(tiny);
+  EXPECT_FALSE(t.access(0x1000));
+  EXPECT_TRUE(t.access(0x1000));
+  EXPECT_TRUE(t.contains(0x1000));
+  EXPECT_FALSE(t.contains(0x2000));
+}
+
+TEST(TagCache, EvictsLruWithinSet) {
+  TagCache t(tiny);
+  const Addr a = line_in_set(1, 0), b = line_in_set(1, 1),
+             c2 = line_in_set(1, 2);
+  t.access(a);
+  t.access(b);
+  t.access(a);   // refresh a
+  t.access(c2);  // evicts b
+  EXPECT_TRUE(t.contains(a));
+  EXPECT_FALSE(t.contains(b));
+  EXPECT_TRUE(t.contains(c2));
+}
+
+TEST(TagCache, DifferentSetsDoNotInterfere) {
+  TagCache t(tiny);
+  for (unsigned k = 0; k < 8; ++k) t.access(line_in_set(0, k));
+  EXPECT_FALSE(t.access(line_in_set(1, 0)));  // untouched set still misses
+  EXPECT_TRUE(t.access(line_in_set(1, 0)));
+}
+
+}  // namespace
+}  // namespace st::sim

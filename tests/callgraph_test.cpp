@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/callgraph.hpp"
+
+namespace st::ir {
+namespace {
+
+TEST(CallGraph, CalleesAndCallSites) {
+  Module m;
+  FunctionBuilder leaf(m, "leaf", {nullptr});
+  leaf.ret(leaf.param(0));
+  FunctionBuilder mid(m, "mid", {nullptr});
+  mid.ret(mid.call(leaf.function(), {mid.param(0)}));
+  FunctionBuilder root(m, "root", {nullptr});
+  root.call(leaf.function(), {root.param(0)});
+  root.call(mid.function(), {root.param(0)});
+  root.call(mid.function(), {root.param(0)});  // second site, same callee
+  root.ret();
+
+  CallGraph cg(m);
+  EXPECT_FALSE(cg.has_cycle());
+  EXPECT_EQ(cg.callees(root.function()).size(), 2u);  // deduplicated
+  EXPECT_EQ(cg.call_sites(root.function()).size(), 3u);
+  EXPECT_TRUE(cg.callees(leaf.function()).empty());
+}
+
+TEST(CallGraph, ReachableFromIncludesTransitiveCallees) {
+  Module m;
+  FunctionBuilder a(m, "a", {});
+  a.ret();
+  FunctionBuilder b(m, "b", {});
+  b.call(a.function(), {});
+  b.ret();
+  FunctionBuilder c(m, "c", {});
+  c.call(b.function(), {});
+  c.ret();
+  FunctionBuilder orphan(m, "orphan", {});
+  orphan.ret();
+
+  CallGraph cg(m);
+  const auto reach = cg.reachable_from(c.function());
+  EXPECT_EQ(reach.size(), 3u);
+  for (const Function* f : reach) EXPECT_NE(f, orphan.function());
+}
+
+TEST(CallGraph, BottomUpOrderPutsCalleesFirst) {
+  Module m;
+  FunctionBuilder a(m, "a", {});
+  a.ret();
+  FunctionBuilder b(m, "b", {});
+  b.call(a.function(), {});
+  b.ret();
+  FunctionBuilder c(m, "c", {});
+  c.call(b.function(), {});
+  c.call(a.function(), {});
+  c.ret();
+
+  CallGraph cg(m);
+  const auto order = cg.bottom_up_order();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const Function* f) {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] == f) return i;
+    return order.size();
+  };
+  EXPECT_LT(pos(a.function()), pos(b.function()));
+  EXPECT_LT(pos(b.function()), pos(c.function()));
+}
+
+TEST(CallGraph, DetectsMutualRecursion) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  Function* g = m.add_function("g", {});
+  BasicBlock* fb = f->add_block("entry");
+  BasicBlock* gb = g->add_block("entry");
+  Instr call_g;
+  call_g.op = Op::Call;
+  call_g.dst = f->fresh_reg();
+  call_g.callee = g;
+  fb->instrs().push_back(call_g);
+  Instr ret;
+  ret.op = Op::Ret;
+  fb->instrs().push_back(ret);
+  Instr call_f;
+  call_f.op = Op::Call;
+  call_f.dst = g->fresh_reg();
+  call_f.callee = f;
+  gb->instrs().push_back(call_f);
+  gb->instrs().push_back(ret);
+
+  CallGraph cg(m);
+  EXPECT_TRUE(cg.has_cycle());
+  EXPECT_DEATH(cg.bottom_up_order(), "recursive");
+}
+
+TEST(CallGraph, DetectsSelfRecursion) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  BasicBlock* fb = f->add_block("entry");
+  Instr call_f;
+  call_f.op = Op::Call;
+  call_f.dst = f->fresh_reg();
+  call_f.callee = f;
+  fb->instrs().push_back(call_f);
+  Instr ret;
+  ret.op = Op::Ret;
+  fb->instrs().push_back(ret);
+  CallGraph cg(m);
+  EXPECT_TRUE(cg.has_cycle());
+}
+
+}  // namespace
+}  // namespace st::ir

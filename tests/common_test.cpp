@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace st {
+namespace {
+
+TEST(SplitMix64, IsDeterministicAndAdvancesState) {
+  std::uint64_t s1 = 123, s2 = 123;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(s1, 123u);
+  EXPECT_NE(splitmix64(s1), a);  // state advanced, next draw differs
+}
+
+TEST(Mix64, IsAPureFunction) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256ss a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256ss r(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 20}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, NextRangeInclusive) {
+  Xoshiro256ss r(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.next_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values appear
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256ss r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, ChancePctExtremes) {
+  Xoshiro256ss r(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance_pct(0));
+    EXPECT_TRUE(r.chance_pct(100));
+  }
+}
+
+class XoshiroUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XoshiroUniformity, BucketsAreRoughlyBalanced) {
+  Xoshiro256ss r(GetParam());
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 16000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets / 2);
+    EXPECT_LT(c, kDraws / kBuckets * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XoshiroUniformity,
+                         ::testing::Values(1, 2, 3, 17, 1234567, 0xFFFFFFFF));
+
+}  // namespace
+}  // namespace st

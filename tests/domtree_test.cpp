@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "ir/domtree.hpp"
+#include "ir/module.hpp"
+
+namespace st::ir {
+namespace {
+
+void terminate(BasicBlock* bb, BasicBlock* t1, BasicBlock* t2 = nullptr,
+               Function* f = nullptr) {
+  Instr ins;
+  if (t1 == nullptr) {
+    ins.op = Op::Ret;
+  } else if (t2 == nullptr) {
+    ins.op = Op::Br;
+    ins.t1 = t1;
+  } else {
+    ins.op = Op::CondBr;
+    ins.a = f->fresh_reg();
+    ins.t1 = t1;
+    ins.t2 = t2;
+  }
+  bb->instrs().push_back(ins);
+}
+
+TEST(DomTree, StraightLine) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  BasicBlock* a = f->add_block("a");
+  BasicBlock* b = f->add_block("b");
+  BasicBlock* c = f->add_block("c");
+  terminate(a, b);
+  terminate(b, c);
+  terminate(c, nullptr);
+  DomTree dt(*f);
+  EXPECT_EQ(dt.idom(a), nullptr);
+  EXPECT_EQ(dt.idom(b), a);
+  EXPECT_EQ(dt.idom(c), b);
+  EXPECT_TRUE(dt.dominates(a, c));
+  EXPECT_FALSE(dt.dominates(c, a));
+  EXPECT_TRUE(dt.dominates(b, b));
+}
+
+TEST(DomTree, DiamondJoinsAtEntry) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  BasicBlock* e = f->add_block("e");
+  BasicBlock* l = f->add_block("l");
+  BasicBlock* r = f->add_block("r");
+  BasicBlock* j = f->add_block("j");
+  terminate(e, l, r, f);
+  terminate(l, j);
+  terminate(r, j);
+  terminate(j, nullptr);
+  DomTree dt(*f);
+  EXPECT_EQ(dt.idom(j), e);
+  EXPECT_FALSE(dt.dominates(l, j));
+  EXPECT_FALSE(dt.dominates(r, j));
+  EXPECT_TRUE(dt.dominates(e, j));
+}
+
+TEST(DomTree, LoopHeaderDominatesBody) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  BasicBlock* e = f->add_block("e");
+  BasicBlock* h = f->add_block("h");
+  BasicBlock* body = f->add_block("body");
+  BasicBlock* exit = f->add_block("exit");
+  terminate(e, h);
+  terminate(h, body, exit, f);
+  terminate(body, h);
+  terminate(exit, nullptr);
+  DomTree dt(*f);
+  EXPECT_EQ(dt.idom(body), h);
+  EXPECT_EQ(dt.idom(exit), h);
+  EXPECT_TRUE(dt.dominates(h, body));
+  EXPECT_FALSE(dt.dominates(body, exit));
+}
+
+TEST(DomTree, InstructionLevelDominanceWithinBlock) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  BasicBlock* e = f->add_block("e");
+  terminate(e, nullptr);
+  DomTree dt(*f);
+  EXPECT_TRUE(dt.dominates(e, 0, e, 1));
+  EXPECT_TRUE(dt.dominates(e, 1, e, 1));
+  EXPECT_FALSE(dt.dominates(e, 2, e, 1));
+}
+
+TEST(DomTree, DfsPreorderStartsAtEntryAndCoversReachable) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  BasicBlock* e = f->add_block("e");
+  BasicBlock* l = f->add_block("l");
+  BasicBlock* r = f->add_block("r");
+  terminate(e, l, r, f);
+  terminate(l, nullptr);
+  terminate(r, nullptr);
+  DomTree dt(*f);
+  const auto order = dt.dfs_preorder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], e);
+}
+
+// Property test: the iterative algorithm must agree with the brute-force
+// definition of dominance (remove X; Y unreachable => X dom Y) on random
+// CFGs.
+class DomTreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DomTreeFuzz, AgreesWithBruteForceDominance) {
+  Xoshiro256ss rng(GetParam());
+  Module m;
+  Function* f = m.add_function("f", {});
+  const unsigned n = 4 + static_cast<unsigned>(rng.next_below(8));
+  std::vector<BasicBlock*> bbs;
+  for (unsigned i = 0; i < n; ++i)
+    bbs.push_back(f->add_block("b" + std::to_string(i)));
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned kind = static_cast<unsigned>(rng.next_below(3));
+    if (kind == 0 || i + 1 >= n) {
+      terminate(bbs[i], nullptr);
+    } else if (kind == 1) {
+      terminate(bbs[i], bbs[rng.next_below(n)]);
+    } else {
+      terminate(bbs[i], bbs[rng.next_below(n)], bbs[rng.next_below(n)], f);
+    }
+  }
+
+  // Brute force: reachability with a node removed.
+  auto reachable_without = [&](const BasicBlock* removed) {
+    std::unordered_set<const BasicBlock*> seen;
+    std::vector<const BasicBlock*> stack;
+    if (bbs[0] != removed) {
+      stack.push_back(bbs[0]);
+      seen.insert(bbs[0]);
+    }
+    while (!stack.empty()) {
+      const BasicBlock* b = stack.back();
+      stack.pop_back();
+      for (BasicBlock* s : b->successors())
+        if (s != removed && seen.insert(s).second) stack.push_back(s);
+    }
+    return seen;
+  };
+
+  const auto all_reachable = reachable_without(nullptr);
+  DomTree dt(*f);
+  for (const BasicBlock* x : all_reachable) {
+    const auto without_x = reachable_without(x);
+    for (const BasicBlock* y : all_reachable) {
+      const bool brute = (x == y) || without_x.count(y) == 0;
+      EXPECT_EQ(dt.dominates(x, y), brute)
+          << x->name() << " dom " << y->name() << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomTreeFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace st::ir

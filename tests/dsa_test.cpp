@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "dsa/bottomup.hpp"
+#include "ir/builder.hpp"
+#include "workloads/dslib/hashtable.hpp"
+
+namespace st::dsa {
+namespace {
+
+using ir::FunctionBuilder;
+using ir::Reg;
+
+TEST(DsGraph, UnifyMergesFlagsTypesAndEdges) {
+  DSGraph g;
+  DSNode* a = g.make_node();
+  DSNode* b = g.make_node();
+  DSNode* ta = g.make_node();
+  DSNode* tb = g.make_node();
+  a->heap = true;
+  b->param = true;
+  a->edges[0] = ta;
+  b->edges[0] = tb;
+  b->edges[8] = tb;
+  g.unify(a, b);
+  DSNode* r = DSGraph::resolve(a);
+  EXPECT_EQ(r, DSGraph::resolve(b));
+  EXPECT_TRUE(r->heap);
+  EXPECT_TRUE(r->param);
+  // Edge targets at offset 0 were unified recursively.
+  EXPECT_EQ(DSGraph::resolve(ta), DSGraph::resolve(tb));
+  EXPECT_EQ(DSGraph::resolve(r->edges.at(8)), DSGraph::resolve(tb));
+}
+
+TEST(DsGraph, UnifySelfIsNoOp) {
+  DSGraph g;
+  DSNode* a = g.make_node();
+  g.unify(a, a);
+  EXPECT_EQ(DSGraph::resolve(a), a);
+}
+
+TEST(DsGraph, CloneCopiesRepresentativesAndEdges) {
+  DSGraph src;
+  DSNode* a = src.make_node();
+  DSNode* b = src.make_node();
+  a->heap = true;
+  a->edges[16] = b;
+  DSGraph dst;
+  auto map = dst.clone_from(src);
+  ASSERT_EQ(map.size(), 2u);
+  DSNode* ca = map.at(a);
+  EXPECT_TRUE(ca->heap);
+  EXPECT_EQ(DSGraph::resolve(ca->edges.at(16)), map.at(b));
+  EXPECT_EQ(src.node_count(), 2u);
+  EXPECT_EQ(dst.node_count(), 2u);
+}
+
+/// Builds: struct node { v; next: *node }; f(list*) walks list->head->next*.
+struct ListIr {
+  ir::Module m;
+  const ir::StructType* node_t;
+  const ir::StructType* list_t;
+  ir::Function* walk;
+
+  ListIr() {
+    ir::StructType node = ir::make_struct(
+        "node", {{"v", 0, 8, nullptr}, {"next", 0, 8, nullptr}});
+    node_t = m.add_type(std::move(node));
+    const_cast<ir::StructType*>(node_t)->fields[1].pointee = node_t;
+    list_t = m.add_type(ir::make_struct("list", {{"head", 0, 8, node_t}}));
+    FunctionBuilder b(m, "walk", {list_t});
+    const Reg zero = b.const_i(0);
+    const Reg cur = b.var(b.load_field(b.param(0), list_t, "head"));
+    b.while_([&] { return b.cmp_ne(cur, zero); },
+             [&] { b.assign(cur, b.load_field(cur, node_t, "next")); });
+    b.ret(zero);
+    walk = b.function();
+  }
+};
+
+TEST(DsaLocal, ListWalkUnifiesAllNodesIntoOneRecursiveDsNode) {
+  ListIr ir;
+  FuncInfo fi;
+  run_local(*ir.walk, fi);
+  // The param (list) node has a head edge to the node-set node, which has a
+  // self edge through `next` (the classic recursive structure shape).
+  DSNode* list = DSGraph::resolve(fi.param_nodes[0]);
+  ASSERT_EQ(list->edges.size(), 1u);
+  DSNode* node = DSGraph::resolve(list->edges.begin()->second);
+  ASSERT_NE(node, list);
+  bool self_edge = false;
+  for (auto& [off, t] : node->edges)
+    if (DSGraph::resolve(t) == node) self_edge = true;
+  EXPECT_TRUE(self_edge);
+}
+
+TEST(DsaLocal, AccessInfoMapsLoadsToNodes) {
+  ListIr ir;
+  FuncInfo fi;
+  run_local(*ir.walk, fi);
+  DSNode* list = DSGraph::resolve(fi.param_nodes[0]);
+  unsigned on_list = 0, on_node = 0;
+  for (auto& [ins, acc] : fi.access) {
+    (void)ins;
+    if (DSGraph::resolve(acc.node) == list)
+      ++on_list;
+    else
+      ++on_node;
+  }
+  EXPECT_EQ(on_list, 1u);  // load of list->head
+  EXPECT_EQ(on_node, 1u);  // load of cur->next (one static instruction)
+}
+
+TEST(DsaLocal, AllocCreatesHeapNodeWithType) {
+  ir::Module m;
+  const ir::StructType* t =
+      m.add_type(ir::make_struct("obj", {{"v", 0, 8, nullptr}}));
+  FunctionBuilder b(m, "mk", {});
+  const Reg p = b.alloc(t);
+  b.store_field(p, t, "v", b.const_i(1));
+  b.ret(p);
+  FuncInfo fi;
+  run_local(*b.function(), fi);
+  ASSERT_NE(fi.ret_node, nullptr);
+  DSNode* r = DSGraph::resolve(fi.ret_node);
+  EXPECT_TRUE(r->heap);
+  EXPECT_TRUE(r->types.count(t));
+}
+
+TEST(DsaLocal, StoreOfPointerCreatesEdge) {
+  ir::Module m;
+  ir::StructType holder_s = ir::make_struct("holder", {{"p", 0, 8, nullptr}});
+  const ir::StructType* obj =
+      m.add_type(ir::make_struct("obj2", {{"v", 0, 8, nullptr}}));
+  holder_s.fields[0].pointee = obj;
+  const ir::StructType* holder = m.add_type(std::move(holder_s));
+  FunctionBuilder b(m, "link", {holder, obj});
+  b.store_field(b.param(0), holder, "p", b.param(1));
+  b.ret();
+  FuncInfo fi;
+  run_local(*b.function(), fi);
+  DSNode* h = DSGraph::resolve(fi.param_nodes[0]);
+  DSNode* o = DSGraph::resolve(fi.param_nodes[1]);
+  ASSERT_EQ(h->edges.size(), 1u);
+  EXPECT_EQ(DSGraph::resolve(h->edges.begin()->second), o);
+}
+
+TEST(DsaBottomUp, CalleeParamUnifiesWithCallerActual) {
+  ListIr ir;
+  // caller(list*) { walk(list); }
+  FunctionBuilder b(ir.m, "caller", {ir.list_t});
+  b.call(ir.walk, {b.param(0)});
+  b.ret();
+  ModuleDsa dsa(ir.m);
+  const FuncInfo& ci = dsa.info(b.function());
+  DSNode* caller_list = DSGraph::resolve(ci.param_nodes[0]);
+  // Through the call-site map, the callee's param node translates to the
+  // caller's list node.
+  const FuncInfo& wi = dsa.info(ir.walk);
+  const ir::Instr* call = nullptr;
+  for (const auto& ins : b.function()->entry()->instrs())
+    if (ins.op == ir::Op::Call) call = &ins;
+  ASSERT_NE(call, nullptr);
+  DSNode* translated = dsa.translate(b.function(), call, wi.param_nodes[0]);
+  EXPECT_EQ(translated, caller_list);
+}
+
+TEST(DsaBottomUp, HashTableHasPaperFig3ParentChain) {
+  // htab -> bucket array -> list -> node, mirroring genome's anchor chain.
+  ir::Module m;
+  auto lib = workloads::dslib::build_hash_lib(m, 16);
+  ModuleDsa dsa(m);
+  const FuncInfo& fi = dsa.info(lib.insert);
+  DSNode* ht = DSGraph::resolve(fi.param_nodes[0]);
+  // htab node points (via the buckets field) to the bucket array node.
+  ASSERT_FALSE(ht->edges.empty());
+  DSNode* barr = DSGraph::resolve(ht->edges.begin()->second);
+  EXPECT_NE(barr, ht);
+  // bucket array points to the list node.
+  ASSERT_FALSE(barr->edges.empty());
+  DSNode* list = DSGraph::resolve(barr->edges.begin()->second);
+  EXPECT_NE(list, barr);
+  // list points to the (recursive) element node set.
+  ASSERT_FALSE(list->edges.empty());
+  DSNode* node = DSGraph::resolve(list->edges.begin()->second);
+  EXPECT_NE(node, list);
+}
+
+TEST(DsaBottomUp, ContextSensitivityKeepsTwoListsApart) {
+  // Two distinct lists passed to the same callee stay distinct in the
+  // caller's graph (bottom-up cloning, not a global unification).
+  ListIr ir;
+  FunctionBuilder b(ir.m, "two", {ir.list_t, ir.list_t});
+  b.call(ir.walk, {b.param(0)});
+  b.call(ir.walk, {b.param(1)});
+  b.ret();
+  ModuleDsa dsa(ir.m);
+  const FuncInfo& fi = dsa.info(b.function());
+  EXPECT_NE(DSGraph::resolve(fi.param_nodes[0]),
+            DSGraph::resolve(fi.param_nodes[1]));
+}
+
+}  // namespace
+}  // namespace st::dsa

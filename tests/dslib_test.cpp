@@ -1,0 +1,292 @@
+// Functional correctness of the TxIR data-structure library, executed
+// through the full simulator stack (single core: no conflicts, pure
+// semantics).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workloads/dslib/bst.hpp"
+#include "workloads/dslib/hashtable.hpp"
+#include "workloads/dslib/pqueue.hpp"
+
+namespace st::workloads::dslib {
+namespace {
+
+using testutil::MiniSystem;
+
+struct ListFixture {
+  MiniSystem ms;
+  ListLib lib;
+  sim::Addr list = 0;
+
+  ListFixture() {
+    lib = build_list_lib(ms.module);
+    ms.module.add_atomic_block(lib.contains);   // ab 0
+    ms.module.add_atomic_block(lib.insert);     // ab 1
+    ms.module.add_atomic_block(lib.remove);     // ab 2
+    ms.module.add_atomic_block(lib.push_front); // ab 3
+    ms.module.add_atomic_block(lib.pop_front);  // ab 4
+    ms.module.add_atomic_block(lib.find);       // ab 5
+    ms.boot();
+    list = host_list_new(ms.sys->heap(), ms.sys->heap().setup_arena(), lib);
+  }
+};
+
+TEST(List, InsertContainsRemoveRoundTrip) {
+  ListFixture f;
+  EXPECT_EQ(f.ms.run_ab(0, {f.list, 5}), 0u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.list, 5, 50}), 1u);
+  EXPECT_EQ(f.ms.run_ab(0, {f.list, 5}), 1u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.list, 5, 50}), 0u);  // duplicate rejected
+  EXPECT_EQ(f.ms.run_ab(2, {f.list, 5}), 1u);
+  EXPECT_EQ(f.ms.run_ab(0, {f.list, 5}), 0u);
+  EXPECT_EQ(f.ms.run_ab(2, {f.list, 5}), 0u);  // remove of absent key
+}
+
+TEST(List, StaysSortedUnderRandomOps) {
+  ListFixture f;
+  Xoshiro256ss rng(3);
+  std::set<std::uint64_t> model;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t k = rng.next_range(1, 40);
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(f.ms.run_ab(0, {f.list, k}), model.count(k));
+        break;
+      case 1:
+        EXPECT_EQ(f.ms.run_ab(1, {f.list, k, k}), model.insert(k).second);
+        break;
+      default:
+        EXPECT_EQ(f.ms.run_ab(2, {f.list, k}), model.erase(k));
+        break;
+    }
+    if (i % 50 == 0) {
+      EXPECT_EQ(host_list_check_sorted(f.ms.sys->heap(), f.lib, f.list),
+                model.size());
+    }
+  }
+  const auto items = host_list_items(f.ms.sys->heap(), f.lib, f.list);
+  ASSERT_EQ(items.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : items) {
+    EXPECT_EQ(static_cast<std::uint64_t>(k), *it++);
+    EXPECT_EQ(k, v);
+  }
+}
+
+TEST(List, BoundaryInsertionsFrontAndBack) {
+  ListFixture f;
+  f.ms.run_ab(1, {f.list, 10, 10});
+  f.ms.run_ab(1, {f.list, 5, 5});   // new head
+  f.ms.run_ab(1, {f.list, 20, 20}); // new tail
+  const auto items = host_list_items(f.ms.sys->heap(), f.lib, f.list);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 5);
+  EXPECT_EQ(items[2].first, 20);
+  // Remove head and tail.
+  EXPECT_EQ(f.ms.run_ab(2, {f.list, 5}), 1u);
+  EXPECT_EQ(f.ms.run_ab(2, {f.list, 20}), 1u);
+  EXPECT_EQ(host_list_check_sorted(f.ms.sys->heap(), f.lib, f.list), 1u);
+}
+
+TEST(List, PushPopFrontBehavesLikeAStack) {
+  ListFixture f;
+  f.ms.run_ab(3, {f.list, 1, 11});
+  f.ms.run_ab(3, {f.list, 2, 22});
+  f.ms.run_ab(3, {f.list, 3, 33});
+  EXPECT_EQ(f.ms.run_ab(4, {f.list}), 33u);
+  EXPECT_EQ(f.ms.run_ab(4, {f.list}), 22u);
+  EXPECT_EQ(f.ms.run_ab(4, {f.list}), 11u);
+  EXPECT_EQ(f.ms.run_ab(4, {f.list}), 0u);  // empty
+}
+
+TEST(List, FindReturnsFirstNodeWithGeKey) {
+  ListFixture f;
+  f.ms.run_ab(1, {f.list, 10, 10});
+  f.ms.run_ab(1, {f.list, 30, 30});
+  const auto n = f.ms.run_ab(5, {f.list, 20});
+  ASSERT_NE(n, 0u);
+  // The node found must hold key 30.
+  EXPECT_EQ(f.ms.sys->heap().load(
+                n + f.lib.node_t->fields[f.lib.node_t->field_index("key")]
+                        .offset,
+                8),
+            30u);
+  EXPECT_EQ(f.ms.run_ab(5, {f.list, 31}), 0u);  // past the end
+}
+
+TEST(List, RemoveFreesNodes) {
+  ListFixture f;
+  const auto live0 = f.ms.sys->heap().live_blocks();
+  f.ms.run_ab(1, {f.list, 5, 5});
+  EXPECT_EQ(f.ms.sys->heap().live_blocks(), live0 + 1);
+  f.ms.run_ab(2, {f.list, 5});
+  EXPECT_EQ(f.ms.sys->heap().live_blocks(), live0);
+}
+
+struct HashFixture {
+  MiniSystem ms;
+  HashLib lib;
+  sim::Addr ht = 0;
+
+  HashFixture() {
+    lib = build_hash_lib(ms.module, 8);
+    ms.module.add_atomic_block(lib.contains);  // 0
+    ms.module.add_atomic_block(lib.insert);    // 1
+    ms.module.add_atomic_block(lib.update);    // 2
+    ms.module.add_atomic_block(lib.find);      // 3
+    ms.module.add_atomic_block(lib.remove);    // 4
+    ms.boot();
+    ht = host_ht_new(ms.sys->heap(), ms.sys->heap().setup_arena(), lib, 8);
+  }
+};
+
+TEST(HashTable, InsertLookupAcrossBuckets) {
+  HashFixture f;
+  for (std::uint64_t k = 1; k <= 40; ++k)
+    EXPECT_EQ(f.ms.run_ab(1, {f.ht, k, k * 10}), 1u);
+  for (std::uint64_t k = 1; k <= 40; ++k)
+    EXPECT_EQ(f.ms.run_ab(0, {f.ht, k}), 1u);
+  EXPECT_EQ(f.ms.run_ab(0, {f.ht, 99}), 0u);
+  EXPECT_EQ(host_ht_items(f.ms.sys->heap(), f.lib, f.ht).size(), 40u);
+}
+
+TEST(HashTable, UpdateChangesValueOnlyWhenPresent) {
+  HashFixture f;
+  EXPECT_EQ(f.ms.run_ab(2, {f.ht, 7, 1}), 0u);  // absent
+  f.ms.run_ab(1, {f.ht, 7, 1});
+  EXPECT_EQ(f.ms.run_ab(2, {f.ht, 7, 2}), 1u);
+  const auto items = host_ht_items(f.ms.sys->heap(), f.lib, f.ht);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].second, 2);
+}
+
+TEST(HashTable, RemoveDeletesExactKey) {
+  HashFixture f;
+  // Keys 3 and 11 share bucket 3 (mod 8).
+  f.ms.run_ab(1, {f.ht, 3, 3});
+  f.ms.run_ab(1, {f.ht, 11, 11});
+  EXPECT_EQ(f.ms.run_ab(4, {f.ht, 3}), 1u);
+  EXPECT_EQ(f.ms.run_ab(0, {f.ht, 3}), 0u);
+  EXPECT_EQ(f.ms.run_ab(0, {f.ht, 11}), 1u);
+}
+
+TEST(HashTable, FindReturnsExactMatchOnly) {
+  HashFixture f;
+  f.ms.run_ab(1, {f.ht, 16, 160});  // bucket 0
+  EXPECT_NE(f.ms.run_ab(3, {f.ht, 16}), 0u);
+  EXPECT_EQ(f.ms.run_ab(3, {f.ht, 8}), 0u);  // same bucket, different key
+}
+
+struct BstFixture {
+  MiniSystem ms;
+  BstLib lib;
+  sim::Addr tree = 0;
+
+  BstFixture() {
+    lib = build_bst_lib(ms.module);
+    ms.module.add_atomic_block(lib.lookup);   // 0
+    ms.module.add_atomic_block(lib.insert);   // 1
+    ms.module.add_atomic_block(lib.reserve);  // 2
+    ms.module.add_atomic_block(lib.restore);  // 3
+    ms.boot();
+    tree = host_bst_new(ms.sys->heap(), ms.sys->heap().setup_arena(), lib);
+  }
+};
+
+TEST(Bst, InsertAndLookup) {
+  BstFixture f;
+  EXPECT_EQ(f.ms.run_ab(1, {f.tree, 50, 500}), 1u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.tree, 25, 250}), 1u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.tree, 75, 750}), 1u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.tree, 50, 1}), 0u);  // duplicate
+  EXPECT_EQ(f.ms.run_ab(0, {f.tree, 25}), 250u);
+  EXPECT_EQ(f.ms.run_ab(0, {f.tree, 75}), 750u);
+  EXPECT_EQ(f.ms.run_ab(0, {f.tree, 60}), 0u);
+  host_bst_sum_and_check(f.ms.sys->heap(), f.lib, f.tree);
+}
+
+TEST(Bst, ReserveDecrementsUntilZeroRestoreGivesBack) {
+  BstFixture f;
+  f.ms.run_ab(1, {f.tree, 5, 2});
+  EXPECT_EQ(f.ms.run_ab(2, {f.tree, 5}), 1u);
+  EXPECT_EQ(f.ms.run_ab(2, {f.tree, 5}), 1u);
+  EXPECT_EQ(f.ms.run_ab(2, {f.tree, 5}), 0u);  // exhausted
+  EXPECT_EQ(f.ms.run_ab(3, {f.tree, 5}), 1u);  // cancel returns capacity
+  EXPECT_EQ(f.ms.run_ab(2, {f.tree, 5}), 1u);
+  EXPECT_EQ(f.ms.run_ab(2, {f.tree, 99}), 0u);  // absent key
+}
+
+TEST(Bst, AgreesWithModelUnderRandomInserts) {
+  BstFixture f;
+  Xoshiro256ss rng(11);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t k = rng.next_range(1, 100);
+    const std::uint64_t v = rng.next_range(1, 1000);
+    const bool fresh = model.emplace(k, v).second;
+    EXPECT_EQ(f.ms.run_ab(1, {f.tree, k, v}), fresh ? 1u : 0u);
+  }
+  for (const auto& [k, v] : model)
+    EXPECT_EQ(f.ms.run_ab(0, {f.tree, k}), v);
+  host_bst_sum_and_check(f.ms.sys->heap(), f.lib, f.tree);
+}
+
+struct PqFixture {
+  MiniSystem ms;
+  PqLib lib;
+  sim::Addr pq = 0;
+
+  PqFixture() {
+    lib = build_pq_lib(ms.module, 8);
+    ms.module.add_atomic_block(lib.push);  // 0
+    ms.module.add_atomic_block(lib.pop);   // 1
+    ms.boot();
+    // shift 4: priorities 0..127 map to buckets 0..7.
+    pq = host_pq_new(ms.sys->heap(), ms.sys->heap().setup_arena(), lib, 8, 4);
+  }
+};
+
+TEST(PQueue, PopsFromTheMinimumBucketFirst) {
+  PqFixture f;
+  f.ms.run_ab(0, {f.pq, 100, 1001});  // bucket 6
+  f.ms.run_ab(0, {f.pq, 5, 1002});    // bucket 0
+  f.ms.run_ab(0, {f.pq, 40, 1003});   // bucket 2
+  EXPECT_EQ(f.ms.run_ab(1, {f.pq}), 1002u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.pq}), 1003u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.pq}), 1001u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.pq}), 0u);  // drained
+}
+
+TEST(PQueue, OverflowPrioritiesClampToLastBucket) {
+  PqFixture f;
+  f.ms.run_ab(0, {f.pq, 5000, 7u});
+  EXPECT_EQ(host_pq_size(f.ms.sys->heap(), f.lib, f.pq), 1u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.pq}), 7u);
+}
+
+TEST(PQueue, ConservesEntries) {
+  PqFixture f;
+  Xoshiro256ss rng(4);
+  std::size_t pushed = 0, popped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.chance_pct(60)) {
+      f.ms.run_ab(0, {f.pq, rng.next_below(128), rng.next_range(1, 1u << 20)});
+      ++pushed;
+    } else if (f.ms.run_ab(1, {f.pq}) != 0) {
+      ++popped;
+    }
+  }
+  EXPECT_EQ(host_pq_size(f.ms.sys->heap(), f.lib, f.pq), pushed - popped);
+}
+
+TEST(PQueue, HostAndIrPushesInteroperate) {
+  PqFixture f;
+  host_pq_push(f.ms.sys->heap(), f.ms.sys->heap().setup_arena(), f.lib, f.pq,
+               3, 42);
+  f.ms.run_ab(0, {f.pq, 90, 43});
+  EXPECT_EQ(f.ms.run_ab(1, {f.pq}), 42u);
+  EXPECT_EQ(f.ms.run_ab(1, {f.pq}), 43u);
+}
+
+}  // namespace
+}  // namespace st::workloads::dslib

@@ -1,0 +1,130 @@
+// Harness-level behaviour: scheme wiring, instrumentation overrides, op
+// scaling, and derived metrics.
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hpp"
+
+namespace st::workloads {
+namespace {
+
+TEST(Harness, SchemeNamesAndInstrumentModes) {
+  using runtime::Scheme;
+  EXPECT_STREQ(runtime::scheme_name(Scheme::kBaseline), "HTM");
+  EXPECT_STREQ(runtime::scheme_name(Scheme::kAddrOnly), "AddrOnly");
+  EXPECT_STREQ(runtime::scheme_name(Scheme::kStaggered), "Staggered");
+  EXPECT_STREQ(runtime::scheme_name(Scheme::kStaggeredSW), "Staggered+SW");
+  EXPECT_EQ(runtime::instrument_mode_for(Scheme::kBaseline),
+            stagger::InstrumentMode::kNone);
+  EXPECT_EQ(runtime::instrument_mode_for(Scheme::kAddrOnly),
+            stagger::InstrumentMode::kEntryOnly);
+  EXPECT_EQ(runtime::instrument_mode_for(Scheme::kStaggered),
+            stagger::InstrumentMode::kAnchors);
+  EXPECT_EQ(runtime::instrument_mode_for(Scheme::kStaggeredSW),
+            stagger::InstrumentMode::kAnchors);
+}
+
+TEST(Harness, OpsScaleControlsTotalOps) {
+  RunOptions o;
+  o.threads = 2;
+  o.ops_scale = 0.02;
+  const auto small = run_workload("ssca2", o);
+  o.ops_scale = 0.04;
+  const auto big = run_workload("ssca2", o);
+  EXPECT_EQ(big.total_ops, 2 * small.total_ops);
+}
+
+TEST(Harness, InstrumentOverrideAllIncreasesAlpsExecuted) {
+  RunOptions o;
+  o.scheme = runtime::Scheme::kStaggered;
+  o.threads = 1;
+  o.ops_scale = 0.05;
+  const auto anchors = run_workload("list-hi", o);
+  o.instrument_override = stagger::InstrumentMode::kAll;
+  const auto naive = run_workload("list-hi", o);
+  EXPECT_GT(naive.totals.alp_executed, anchors.totals.alp_executed);
+  EXPECT_GE(naive.cycles, anchors.cycles);
+}
+
+TEST(Harness, EnergyChargesWaitingBelowActivePower) {
+  RunResult r;
+  r.totals.cycles_useful_tx = 1000;
+  const double active_only = r.energy_estimate();
+  r.totals.cycles_lock_wait = 1000;
+  EXPECT_DOUBLE_EQ(r.energy_estimate(), active_only + 300.0);
+  r.totals.cycles_backoff = 1000;
+  EXPECT_DOUBLE_EQ(r.energy_estimate(), active_only + 300.0 + 200.0);
+  r.totals.cycles_wasted_tx = 1000;  // wasted work burns full power
+  EXPECT_DOUBLE_EQ(r.energy_estimate(), active_only + 1500.0);
+}
+
+TEST(Harness, StaggeredUsesLessEnergyThanBaselineOnContention) {
+  RunOptions o;
+  o.threads = 8;
+  o.ops_scale = 0.2;
+  const auto base = run_workload("memcached", o);
+  o.scheme = runtime::Scheme::kStaggered;
+  const auto stag = run_workload("memcached", o);
+  EXPECT_LT(stag.energy_estimate() / stag.totals.commits,
+            base.energy_estimate() / base.totals.commits);
+}
+
+TEST(Harness, LazyAndEagerDifferButBothVerify) {
+  RunOptions o;
+  o.threads = 4;
+  o.ops_scale = 0.05;
+  const auto eager = run_workload("kmeans", o);
+  o.lazy_htm = true;
+  const auto lazy = run_workload("kmeans", o);
+  EXPECT_EQ(eager.totals.commits, lazy.totals.commits);
+  EXPECT_NE(eager.cycles, lazy.cycles);  // different conflict timing
+}
+
+TEST(Harness, PcTagBitsReachTheSimulator) {
+  RunOptions o;
+  o.scheme = runtime::Scheme::kStaggered;
+  o.threads = 8;
+  o.ops_scale = 0.1;
+  o.pc_tag_bits = 4;  // heavy tag collisions
+  const auto narrow = run_workload("list-hi", o);
+  o.pc_tag_bits = 12;
+  const auto wide = run_workload("list-hi", o);
+  EXPECT_LE(narrow.anchor_accuracy(), wide.anchor_accuracy());
+}
+
+TEST(Harness, AdvisoryLockCountIsConfigurable) {
+  RunOptions o;
+  o.scheme = runtime::Scheme::kStaggered;
+  o.threads = 8;
+  o.ops_scale = 0.1;
+  o.num_advisory_locks = 1;  // one big lock: must still be correct
+  const auto r = run_workload("list-hi", o);
+  EXPECT_EQ(r.totals.commits, r.total_ops);
+}
+
+TEST(Harness, TxSchedRunsCorrectlyAndReducesAborts) {
+  RunOptions o;
+  o.threads = 8;
+  o.ops_scale = 0.2;
+  const auto base = run_workload("list-hi", o);
+  o.scheme = runtime::Scheme::kTxSched;
+  const auto sched = run_workload("list-hi", o);
+  EXPECT_EQ(sched.totals.commits, sched.total_ops);
+  EXPECT_LT(sched.aborts_per_commit(), base.aborts_per_commit());
+}
+
+TEST(Harness, StaggeringBeatsWholeTxnSchedulingOnPartialConflicts) {
+  // memcached's conflicts sit at the end of the transaction (statistics),
+  // so locking at the ALP should preserve more parallelism than locking
+  // the whole transaction (§7's comparison).
+  RunOptions o;
+  o.threads = 16;
+  o.ops_scale = 0.15;
+  o.scheme = runtime::Scheme::kTxSched;
+  const auto sched = run_workload("memcached", o);
+  o.scheme = runtime::Scheme::kStaggered;
+  const auto stag = run_workload("memcached", o);
+  EXPECT_GT(stag.throughput(), sched.throughput());
+}
+
+}  // namespace
+}  // namespace st::workloads

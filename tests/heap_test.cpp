@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/heap.hpp"
+
+namespace st::sim {
+namespace {
+
+TEST(Heap, AllocReturnsNonNullAlignedZeroedBlocks) {
+  Heap h(2, 1 << 20);
+  const Addr a = h.alloc(0, 24);
+  ASSERT_NE(a, kNullAddr);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(h.load(a, 8), 0u);
+  EXPECT_EQ(h.load(a + 16, 8), 0u);
+}
+
+TEST(Heap, LoadStoreRoundTripAllSizes) {
+  Heap h(1, 1 << 20);
+  const Addr a = h.alloc(0, 64);
+  h.store(a, 0xAB, 1);
+  h.store(a + 2, 0xCDEF, 2);
+  h.store(a + 4, 0x12345678u, 4);
+  h.store(a + 8, 0xDEADBEEFCAFEF00Dull, 8);
+  EXPECT_EQ(h.load(a, 1), 0xABu);
+  EXPECT_EQ(h.load(a + 2, 2), 0xCDEFu);
+  EXPECT_EQ(h.load(a + 4, 4), 0x12345678u);
+  EXPECT_EQ(h.load(a + 8, 8), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(Heap, StoresDoNotBleedIntoNeighbours) {
+  Heap h(1, 1 << 20);
+  const Addr a = h.alloc(0, 16);
+  h.store(a, ~0ull, 8);
+  h.store(a + 8, 0, 8);
+  h.store(a + 4, 0x55, 1);
+  EXPECT_EQ(h.load(a, 4), 0xFFFFFFFFu);
+  EXPECT_EQ(h.load(a + 5, 1), 0xFFu);
+  EXPECT_EQ(h.load(a + 4, 1), 0x55u);
+}
+
+TEST(Heap, DistinctAllocationsDoNotOverlap) {
+  Heap h(1, 1 << 20);
+  std::set<Addr> seen;
+  for (int i = 0; i < 200; ++i) {
+    const Addr a = h.alloc(0, 32);
+    for (Addr b : seen) EXPECT_TRUE(a + 32 <= b || b + 32 <= a);
+    seen.insert(a);
+  }
+}
+
+TEST(Heap, DeallocRecyclesWithinSizeClass) {
+  Heap h(1, 1 << 20);
+  const Addr a = h.alloc(0, 32);
+  h.dealloc(a);
+  const Addr b = h.alloc(0, 32);
+  EXPECT_EQ(a, b);  // LIFO free list of the same class
+}
+
+TEST(Heap, RecycledBlocksReadAsZero) {
+  Heap h(1, 1 << 20);
+  const Addr a = h.alloc(0, 32);
+  h.store(a, 0x1234, 8);
+  h.dealloc(a);
+  const Addr b = h.alloc(0, 32);
+  EXPECT_EQ(h.load(b, 8), 0u);
+}
+
+TEST(Heap, ArenasAreDisjoint) {
+  Heap h(3, 1 << 16);
+  const Addr a0 = h.alloc(0, 64);
+  const Addr a1 = h.alloc(1, 64);
+  const Addr a2 = h.alloc(2, 64);
+  EXPECT_GT(a1, a0 + (1 << 16) - 64);
+  EXPECT_GT(a2, a1 + (1 << 16) - 64);
+}
+
+TEST(Heap, ArenaBasesDoNotAliasCacheSets) {
+  // The regression behind the original capacity-abort storm: equal offsets
+  // in different arenas must not map to the same L1 set (128 sets assumed).
+  Heap h(17, 1 << 16);
+  std::set<Addr> sets;
+  for (unsigned i = 0; i < 17; ++i)
+    sets.insert(line_index(h.alloc(i, 64)) & 127);
+  EXPECT_EQ(sets.size(), 17u);
+}
+
+TEST(Heap, LineAlignedAllocationIsLineAligned) {
+  Heap h(1, 1 << 20);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(h.alloc_line_aligned(0, 8) % kLineBytes, 0u);
+}
+
+TEST(Heap, BytesAllocatedTracksLiveBlocks) {
+  Heap h(1, 1 << 20);
+  const auto before = h.bytes_allocated();
+  const Addr a = h.alloc(0, 100);  // class 128
+  EXPECT_EQ(h.bytes_allocated(), before + 128);
+  h.dealloc(a);
+  EXPECT_EQ(h.bytes_allocated(), before);
+}
+
+TEST(Heap, SetupArenaIsLast) {
+  Heap h(5, 1 << 16);
+  EXPECT_EQ(h.setup_arena(), 4u);
+}
+
+TEST(HeapDeath, UnalignedAccessAborts) {
+  Heap h(1, 1 << 20);
+  const Addr a = h.alloc(0, 16);
+  EXPECT_DEATH(h.load(a + 1, 8), "unaligned");
+  EXPECT_DEATH(h.store(a + 2, 1, 4), "unaligned");
+}
+
+TEST(HeapDeath, WildAddressAborts) {
+  Heap h(1, 1 << 16);
+  EXPECT_DEATH(h.load(8, 8), "wild");
+  EXPECT_DEATH(h.dealloc(0x50000), "unknown block");
+}
+
+}  // namespace
+}  // namespace st::sim

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "htm/htm.hpp"
+
+namespace st::htm {
+namespace {
+
+struct Fixture {
+  sim::MemConfig cfg;
+  sim::MachineStats stats{4};
+  sim::Heap heap{5, 1 << 20};
+  std::unique_ptr<sim::MemorySystem> mem;
+  std::unique_ptr<HtmSystem> htm;
+  Addr x, y;
+
+  Fixture() {
+    cfg.cores = 4;
+    mem = std::make_unique<sim::MemorySystem>(cfg, stats);
+    htm = std::make_unique<HtmSystem>(heap, *mem, stats);
+    x = heap.alloc_line_aligned(4, 8);
+    y = heap.alloc_line_aligned(4, 8);
+    heap.store(x, 10, 8);
+    heap.store(y, 20, 8);
+  }
+};
+
+TEST(Htm, SpeculativeStoreIsInvisibleUntilCommit) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->store(0, f.x, 99, 8, 1);
+  EXPECT_EQ(f.heap.load(f.x, 8), 10u);  // heap still has the old value
+  EXPECT_TRUE(f.htm->commit(0));
+  EXPECT_EQ(f.heap.load(f.x, 8), 99u);
+}
+
+TEST(Htm, TransactionReadsItsOwnWrites) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->store(0, f.x, 42, 8, 1);
+  EXPECT_EQ(f.htm->load(0, f.x, 8, 2).value, 42u);
+  // Sub-word read-back of a buffered store.
+  f.htm->store(0, f.y, 0xAABB, 2, 3);
+  EXPECT_EQ(f.htm->load(0, f.y, 1, 4).value, 0xBBu);
+  f.htm->abort(0);
+}
+
+TEST(Htm, AbortDiscardsWrites) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->store(0, f.x, 42, 8, 1);
+  const auto info = f.htm->abort(0);
+  EXPECT_EQ(info.cause, AbortCause::Explicit);
+  EXPECT_EQ(f.heap.load(f.x, 8), 10u);
+  EXPECT_FALSE(f.htm->active(0));
+}
+
+TEST(Htm, RequesterWinsWriteAbortsReader) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->load(0, f.x, 8, 7);
+  f.htm->begin(1);
+  f.htm->store(1, f.x, 5, 8, 9);  // W after remote R: reader dies
+  EXPECT_TRUE(f.htm->pending_abort(0));
+  EXPECT_FALSE(f.htm->pending_abort(1));
+  const auto info = f.htm->abort(0);
+  EXPECT_EQ(info.cause, AbortCause::Conflict);
+  EXPECT_EQ(info.conflict_line, sim::line_addr(f.x));
+  EXPECT_EQ(info.true_first_pc, 7u);
+  EXPECT_EQ(info.aborter, 1u);
+  EXPECT_TRUE(f.htm->commit(1));
+  EXPECT_EQ(f.heap.load(f.x, 8), 5u);
+}
+
+TEST(Htm, RequesterWinsReadAbortsWriter) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->store(0, f.x, 5, 8, 3);
+  f.htm->begin(1);
+  const auto r = f.htm->load(1, f.x, 8, 4);
+  EXPECT_EQ(r.value, 10u);  // requester sees committed data, not speculative
+  EXPECT_TRUE(f.htm->pending_abort(0));
+  f.htm->abort(0);
+  EXPECT_TRUE(f.htm->commit(1));
+}
+
+TEST(Htm, WriteWriteConflictAbortsFirstWriter) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->store(0, f.x, 1, 8, 1);
+  f.htm->begin(1);
+  f.htm->store(1, f.x, 2, 8, 2);
+  EXPECT_TRUE(f.htm->pending_abort(0));
+  f.htm->abort(0);
+  EXPECT_TRUE(f.htm->commit(1));
+  EXPECT_EQ(f.heap.load(f.x, 8), 2u);
+}
+
+TEST(Htm, ReadersDoNotConflictWithReaders) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->begin(1);
+  f.htm->load(0, f.x, 8, 1);
+  f.htm->load(1, f.x, 8, 2);
+  EXPECT_FALSE(f.htm->pending_abort(0));
+  EXPECT_FALSE(f.htm->pending_abort(1));
+  EXPECT_TRUE(f.htm->commit(0));
+  EXPECT_TRUE(f.htm->commit(1));
+}
+
+TEST(Htm, DisjointLinesDoNotConflict) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->store(0, f.x, 1, 8, 1);
+  f.htm->begin(1);
+  f.htm->store(1, f.y, 2, 8, 2);
+  EXPECT_TRUE(f.htm->commit(0));
+  EXPECT_TRUE(f.htm->commit(1));
+}
+
+TEST(Htm, CommitFailsWithPendingAbort) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->load(0, f.x, 8, 1);
+  f.htm->begin(1);
+  f.htm->store(1, f.x, 5, 8, 2);
+  EXPECT_FALSE(f.htm->commit(0));
+  f.htm->abort(0);
+  f.htm->abort(1);
+}
+
+TEST(Htm, OperationsAfterPendingAbortReturnNotOk) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->load(0, f.x, 8, 1);
+  f.htm->begin(1);
+  f.htm->store(1, f.x, 5, 8, 2);
+  EXPECT_FALSE(f.htm->load(0, f.y, 8, 3).ok);
+  EXPECT_FALSE(f.htm->store(0, f.y, 1, 8, 4).ok);
+  f.htm->abort(0);
+  f.htm->abort(1);
+}
+
+TEST(Htm, PcTagIsTruncatedToConfiguredBits) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->load(0, f.x, 8, 0x5432A);
+  f.htm->begin(1);
+  f.htm->store(1, f.x, 1, 8, 1);
+  const auto info = f.htm->abort(0);
+  EXPECT_EQ(info.pc_tag, 0x32Au);
+  EXPECT_EQ(info.true_first_pc, 0x5432Au);
+  f.htm->abort(1);
+}
+
+TEST(Htm, NontxStoreIsImmediateAndSurvivesAbort) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->nontx_store(0, f.y, 777, 8);
+  EXPECT_EQ(f.heap.load(f.y, 8), 777u);  // visible before commit
+  f.htm->abort(0);
+  EXPECT_EQ(f.heap.load(f.y, 8), 777u);  // survives the abort
+}
+
+TEST(Htm, NontxLoadDoesNotJoinReadSet) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->nontx_load(0, f.y, 8);
+  // A remote store to y must NOT abort core 0.
+  f.htm->plain_store(1, f.y, 3, 8);
+  EXPECT_FALSE(f.htm->pending_abort(0));
+  EXPECT_TRUE(f.htm->commit(0));
+}
+
+TEST(Htm, NontxLoadSeesOtherThreadsRecentWrites) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->load(0, f.x, 8, 1);  // start the transaction with some read
+  f.htm->plain_store(1, f.y, 888, 8);
+  EXPECT_EQ(f.htm->nontx_load(0, f.y, 8).value, 888u);
+  f.htm->abort(0);
+}
+
+TEST(Htm, NontxStoreAbortsRemoteSpeculativeReader) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->load(0, f.y, 8, 1);
+  f.htm->begin(1);
+  f.htm->nontx_store(1, f.y, 5, 8);
+  EXPECT_TRUE(f.htm->pending_abort(0));
+  f.htm->abort(0);
+  EXPECT_TRUE(f.htm->commit(1));
+}
+
+TEST(Htm, CasSucceedsOnceAcrossCores) {
+  Fixture f;
+  const auto r0 = f.htm->nontx_cas(0, f.y, 20, 100);
+  EXPECT_TRUE(r0.success);
+  EXPECT_EQ(r0.observed, 20u);
+  const auto r1 = f.htm->nontx_cas(1, f.y, 20, 200);
+  EXPECT_FALSE(r1.success);
+  EXPECT_EQ(r1.observed, 100u);
+  EXPECT_EQ(f.heap.load(f.y, 8), 100u);
+}
+
+TEST(Htm, TxAllocRolledBackOnAbortKeptOnCommit) {
+  Fixture f;
+  const auto live0 = f.heap.live_blocks();
+  f.htm->begin(0);
+  f.htm->tx_alloc(0, 64);
+  f.htm->abort(0);
+  EXPECT_EQ(f.heap.live_blocks(), live0);
+  f.htm->begin(0);
+  f.htm->tx_alloc(0, 64);
+  EXPECT_TRUE(f.htm->commit(0));
+  EXPECT_EQ(f.heap.live_blocks(), live0 + 1);
+}
+
+TEST(Htm, TxFreeDeferredToCommitCancelledOnAbort) {
+  Fixture f;
+  const Addr blk = f.heap.alloc(0, 64);
+  const auto live0 = f.heap.live_blocks();
+  f.htm->begin(0);
+  f.htm->tx_free(0, blk);
+  EXPECT_EQ(f.heap.live_blocks(), live0);  // not freed yet
+  f.htm->abort(0);
+  EXPECT_EQ(f.heap.live_blocks(), live0);  // cancelled
+  f.htm->begin(0);
+  f.htm->tx_free(0, blk);
+  EXPECT_TRUE(f.htm->commit(0));
+  EXPECT_EQ(f.heap.live_blocks(), live0 - 1);
+}
+
+TEST(Htm, AbortCausesAreCounted) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->abort(0, AbortCause::Glock);
+  f.htm->begin(0);
+  f.htm->abort(0);
+  EXPECT_EQ(f.stats.core(0).aborts_glock, 1u);
+  EXPECT_EQ(f.stats.core(0).aborts_explicit, 1u);
+}
+
+TEST(Htm, AbortTraceFeedsLocalityMetrics) {
+  Fixture f;
+  for (int i = 0; i < 4; ++i) {
+    f.htm->begin(0);
+    f.htm->load(0, f.x, 8, 33);
+    f.htm->begin(1);
+    f.htm->store(1, f.x, 1, 8, 2);
+    f.htm->abort(0);
+    f.htm->commit(1);
+  }
+  EXPECT_EQ(f.stats.abort_trace().size(), 4u);
+  EXPECT_DOUBLE_EQ(f.stats.conflict_addr_locality(), 1.0);
+  EXPECT_DOUBLE_EQ(f.stats.conflict_pc_locality(), 1.0);
+}
+
+TEST(HtmDeath, NestedBeginDies) {
+  Fixture f;
+  f.htm->begin(0);
+  EXPECT_DEATH(f.htm->begin(0), "nested");
+}
+
+TEST(HtmDeath, PlainAccessInsideTransactionDies) {
+  Fixture f;
+  f.htm->begin(0);
+  EXPECT_DEATH(f.htm->plain_load(0, f.x, 8), "inside a transaction");
+}
+
+TEST(HtmDeath, NontxAccessToOwnSpeculativeLineDies) {
+  Fixture f;
+  f.htm->begin(0);
+  f.htm->store(0, f.x, 1, 8, 1);
+  EXPECT_DEATH(f.htm->nontx_store(0, f.x, 2, 8), "speculatively");
+}
+
+}  // namespace
+}  // namespace st::htm

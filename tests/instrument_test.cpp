@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hpp"
+#include "stagger/instrument.hpp"
+#include "workloads/dslib/list.hpp"
+
+namespace st::stagger {
+namespace {
+
+unsigned count_alpoints(const ir::Function& f) {
+  unsigned n = 0;
+  for (const auto& bb : f.blocks())
+    for (const auto& ins : bb->instrs())
+      if (ins.op == ir::Op::AlPoint) ++n;
+  return n;
+}
+
+TEST(Instrument, AnchorsModeInsertsOneAlpPerAnchor) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.insert);
+  auto prog = compile(m, InstrumentMode::kAnchors);
+  EXPECT_EQ(prog.alp_count, prog.anchors_selected);
+  unsigned total = 0;
+  for (const auto& f : m.functions()) total += count_alpoints(*f);
+  EXPECT_EQ(total, prog.alp_count);
+  EXPECT_GT(prog.alp_count, 0u);
+  EXPECT_LT(prog.anchors_selected, prog.loads_stores_analyzed);
+}
+
+TEST(Instrument, AlpointDirectlyPrecedesItsAnchor) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.contains);
+  auto prog = compile(m, InstrumentMode::kAnchors);
+  for (const auto& f : m.functions()) {
+    for (const auto& bb : f->blocks()) {
+      const ir::Instr* prev = nullptr;
+      for (const auto& ins : bb->instrs()) {
+        if (prev != nullptr && prev->op == ir::Op::AlPoint) {
+          EXPECT_TRUE(ins.op == ir::Op::Load || ins.op == ir::Op::Store)
+              << "ALPoint not followed by a load/store";
+          // The ALP carries the same data-address register as its anchor.
+          EXPECT_EQ(prev->a, ins.a);
+        }
+        prev = &ins;
+      }
+    }
+  }
+}
+
+TEST(Instrument, NaiveModeInstrumentsEveryLoadStore) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.insert);
+  auto prog = compile(m, InstrumentMode::kAll);
+  EXPECT_EQ(prog.alp_count, prog.loads_stores_analyzed);
+}
+
+TEST(Instrument, EntryOnlyModeAddsOneAlpPerAtomicBlock) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.insert);
+  m.add_atomic_block(lib.remove);
+  auto prog = compile(m, InstrumentMode::kEntryOnly);
+  ASSERT_EQ(prog.entry_alps.size(), 2u);
+  EXPECT_EQ(prog.entry_alps[0], 1u);
+  EXPECT_EQ(prog.entry_alps[1], 2u);
+  // The ALP sits at the very front of each atomic block (after its const).
+  for (ir::Function* ab : m.atomic_blocks()) {
+    const auto& ins = ab->entry()->instrs();
+    auto it = ins.begin();
+    EXPECT_EQ(it->op, ir::Op::ConstI);
+    ++it;
+    EXPECT_EQ(it->op, ir::Op::AlPoint);
+  }
+}
+
+TEST(Instrument, NoneModeLeavesCodeUntouched) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.insert);
+  const unsigned before = lib.insert->instr_count();
+  auto prog = compile(m, InstrumentMode::kNone);
+  EXPECT_EQ(prog.alp_count, 0u);
+  EXPECT_EQ(lib.insert->instr_count(), before);
+  // Tables exist but are empty (baseline runtime never consults them).
+  ASSERT_EQ(prog.tables.size(), 1u);
+  EXPECT_TRUE(prog.tables[0]->entries().empty());
+}
+
+TEST(Instrument, ModuleStillVerifiesAfterInstrumentation) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.insert);
+  m.add_atomic_block(lib.remove);
+  compile(m, InstrumentMode::kAnchors);
+  EXPECT_TRUE(ir::verify_module(m).empty());
+}
+
+TEST(Instrument, AlpIdsAreDenseFromOne) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.insert);
+  auto prog = compile(m, InstrumentMode::kAnchors);
+  std::set<std::uint32_t> ids;
+  for (const auto& f : m.functions())
+    for (const auto& bb : f->blocks())
+      for (const auto& ins : bb->instrs())
+        if (ins.op == ir::Op::AlPoint) ids.insert(ins.alp_id);
+  ASSERT_EQ(ids.size(), prog.alp_count);
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), prog.alp_count);
+}
+
+TEST(InstrumentDeath, CompileRequiresUnfinalizedModule) {
+  ir::Module m;
+  auto lib = workloads::dslib::build_list_lib(m);
+  m.add_atomic_block(lib.insert);
+  m.finalize();
+  EXPECT_DEATH(compile(m, InstrumentMode::kAnchors), "unfinalized");
+}
+
+}  // namespace
+}  // namespace st::stagger

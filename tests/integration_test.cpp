@@ -1,0 +1,67 @@
+// End-to-end integration tests: full pipeline (IR -> DSA -> anchors ->
+// instrumentation -> simulated execution) across workloads and schemes.
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hpp"
+
+namespace st::workloads {
+namespace {
+
+RunOptions opts(runtime::Scheme s, unsigned threads, double scale = 0.1) {
+  RunOptions o;
+  o.scheme = s;
+  o.threads = threads;
+  o.ops_scale = scale;
+  o.seed = 42;
+  return o;
+}
+
+TEST(Integration, ListHiBaselineSingleThreadCommitsEveryOp) {
+  const RunResult r =
+      run_workload("list-hi", opts(runtime::Scheme::kBaseline, 1, 0.2));
+  EXPECT_EQ(r.totals.commits, r.total_ops);
+  EXPECT_EQ(r.totals.total_aborts(), 0u);
+}
+
+TEST(Integration, ListHiBaselineMultiThreadAborts) {
+  const RunResult r =
+      run_workload("list-hi", opts(runtime::Scheme::kBaseline, 8, 0.2));
+  EXPECT_EQ(r.totals.commits, r.total_ops);
+  EXPECT_GT(r.totals.aborts_conflict, 0u);
+}
+
+TEST(Integration, ListHiStaggeredReducesAborts) {
+  const RunResult base =
+      run_workload("list-hi", opts(runtime::Scheme::kBaseline, 8, 0.3));
+  const RunResult stag =
+      run_workload("list-hi", opts(runtime::Scheme::kStaggered, 8, 0.3));
+  EXPECT_EQ(stag.totals.commits, stag.total_ops);
+  EXPECT_LT(stag.aborts_per_commit(), base.aborts_per_commit());
+}
+
+TEST(Integration, EveryWorkloadRunsUnderEveryScheme) {
+  for (const auto& [name, factory] : workload_registry()) {
+    (void)factory;
+    for (const auto scheme :
+         {runtime::Scheme::kBaseline, runtime::Scheme::kAddrOnly,
+          runtime::Scheme::kStaggered, runtime::Scheme::kStaggeredSW}) {
+      SCOPED_TRACE(name + std::string("/") + runtime::scheme_name(scheme));
+      const RunResult r = run_workload(name, opts(scheme, 4, 0.05));
+      EXPECT_EQ(r.totals.commits, r.total_ops) << name;
+      EXPECT_GT(r.cycles, 0u);
+    }
+  }
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const RunResult a =
+      run_workload("tsp", opts(runtime::Scheme::kStaggered, 4, 0.1));
+  const RunResult b =
+      run_workload("tsp", opts(runtime::Scheme::kStaggered, 4, 0.1));
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.totals.commits, b.totals.commits);
+  EXPECT_EQ(a.totals.total_aborts(), b.totals.total_aborts());
+}
+
+}  // namespace
+}  // namespace st::workloads

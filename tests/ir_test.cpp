@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace st::ir {
+namespace {
+
+TEST(Types, MakeStructAssignsNaturallyAlignedOffsets) {
+  const StructType t = make_struct(
+      "s", {{"a", 0, 1, nullptr}, {"b", 0, 4, nullptr}, {"c", 0, 8, nullptr},
+            {"d", 0, 2, nullptr}});
+  EXPECT_EQ(t.fields[0].offset, 0u);
+  EXPECT_EQ(t.fields[1].offset, 4u);   // aligned up from 1
+  EXPECT_EQ(t.fields[2].offset, 8u);
+  EXPECT_EQ(t.fields[3].offset, 16u);
+  EXPECT_EQ(t.size, 24u);  // padded to 8
+}
+
+TEST(Types, FieldIndexLookup) {
+  const StructType t = make_struct("s", {{"x", 0, 8, nullptr},
+                                         {"y", 0, 8, nullptr}});
+  EXPECT_EQ(t.field_index("x"), 0u);
+  EXPECT_EQ(t.field_index("y"), 1u);
+  EXPECT_DEATH(t.field_index("z"), "unknown");
+}
+
+TEST(Types, MakeArray) {
+  const StructType a = make_array("arr", 8, 100, nullptr);
+  EXPECT_TRUE(a.is_array);
+  EXPECT_EQ(a.size, 800u);
+  EXPECT_EQ(a.elem_count, 100u);
+}
+
+TEST(Module, TypeAndFunctionInterning) {
+  Module m;
+  const StructType* t = m.add_type(make_struct("node", {{"v", 0, 8, nullptr}}));
+  EXPECT_EQ(m.find_type("node"), t);
+  EXPECT_EQ(m.find_type("nope"), nullptr);
+  Function* f = m.add_function("foo", {t});
+  EXPECT_EQ(m.find_function("foo"), f);
+  EXPECT_DEATH(m.add_function("foo", {}), "duplicate");
+}
+
+TEST(Builder, EmitsAStraightLineFunction) {
+  Module m;
+  FunctionBuilder b(m, "addmul", {nullptr, nullptr});
+  const Reg s = b.add(b.param(0), b.param(1));
+  const Reg p = b.mul(s, b.const_i(3));
+  b.ret(p);
+  EXPECT_TRUE(verify_function(*b.function()).empty());
+  EXPECT_EQ(b.function()->entry()->instrs().size(), 4u);
+}
+
+TEST(Builder, WhileLoopBuildsWellFormedCfg) {
+  Module m;
+  FunctionBuilder b(m, "count", {nullptr});
+  const Reg i = b.var(b.const_i(0));
+  b.while_([&] { return b.cmp_slt(i, b.param(0)); },
+           [&] { b.assign(i, b.add(i, b.const_i(1))); });
+  b.ret(i);
+  EXPECT_TRUE(verify_function(*b.function()).empty());
+  EXPECT_GE(b.function()->blocks().size(), 4u);
+}
+
+TEST(Builder, IfElseJoinsControlFlow) {
+  Module m;
+  FunctionBuilder b(m, "max", {nullptr, nullptr});
+  const Reg out = b.var(b.param(0));
+  b.if_else(b.cmp_slt(b.param(0), b.param(1)),
+            [&] { b.assign(out, b.param(1)); }, [] {});
+  b.ret(out);
+  EXPECT_TRUE(verify_function(*b.function()).empty());
+}
+
+TEST(Builder, FieldAccessorsCarryTypeInfo) {
+  Module m;
+  StructType node = make_struct("node", {{"v", 0, 8, nullptr},
+                                         {"next", 0, 8, nullptr}});
+  const StructType* nt = m.add_type(std::move(node));
+  const_cast<StructType*>(nt)->fields[1].pointee = nt;
+  FunctionBuilder b(m, "walk", {nt});
+  const Reg n = b.load_field(b.param(0), nt, "next");
+  b.ret(n);
+  // The load of a pointer field records its pointee type for DSA.
+  const auto& ins = b.function()->entry()->instrs();
+  bool found = false;
+  for (const auto& i : ins)
+    if (i.op == Op::Load) {
+      EXPECT_EQ(i.type, nt);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module m;
+  Function* f = m.add_function("bad", {});
+  f->add_block("entry");
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesForeignBranchTarget) {
+  Module m;
+  Function* f = m.add_function("bad", {});
+  Function* g = m.add_function("other", {});
+  BasicBlock* fe = f->add_block("entry");
+  BasicBlock* ge = g->add_block("entry");
+  Instr br;
+  br.op = Op::Br;
+  br.t1 = ge;
+  fe->instrs().push_back(br);
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("foreign"), std::string::npos);
+}
+
+TEST(Verifier, CatchesArityMismatch) {
+  Module m;
+  Function* callee = m.add_function("callee", {nullptr, nullptr});
+  {
+    FunctionBuilder cb(m, "callee_impl", {});
+    (void)cb;
+  }
+  Function* f = m.add_function("caller", {});
+  BasicBlock* bb = f->add_block("entry");
+  Instr call;
+  call.op = Op::Call;
+  call.dst = f->fresh_reg();
+  call.callee = callee;
+  call.args = {};  // should be 2
+  bb->instrs().push_back(call);
+  Instr ret;
+  ret.op = Op::Ret;
+  bb->instrs().push_back(ret);
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("arity"), std::string::npos);
+}
+
+TEST(Module, FinalizeAssignsUniqueNonZeroPcs) {
+  Module m;
+  FunctionBuilder b(m, "f", {nullptr});
+  b.ret(b.add(b.param(0), b.const_i(1)));
+  m.finalize();
+  std::set<std::uint32_t> pcs;
+  for (const auto& ins : b.function()->entry()->instrs()) {
+    EXPECT_NE(ins.pc, 0u);
+    EXPECT_TRUE(pcs.insert(ins.pc).second);
+    EXPECT_EQ(m.instr_at(ins.pc), &ins);
+  }
+  EXPECT_EQ(m.instr_at(0), nullptr);
+}
+
+TEST(Printer, RendersRecognizableText) {
+  Module m;
+  FunctionBuilder b(m, "pretty", {nullptr});
+  b.ret(b.add(b.param(0), b.const_i(7)));
+  const std::string s = print_function(*b.function());
+  EXPECT_NE(s.find("func @pretty"), std::string::npos);
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("ret"), std::string::npos);
+}
+
+TEST(Function, RpoStartsAtEntryAndSkipsUnreachable) {
+  Module m;
+  Function* f = m.add_function("f", {});
+  BasicBlock* e = f->add_block("entry");
+  BasicBlock* next = f->add_block("next");
+  f->add_block("orphan");  // unreachable
+  Instr br;
+  br.op = Op::Br;
+  br.t1 = next;
+  e->instrs().push_back(br);
+  Instr ret;
+  ret.op = Op::Ret;
+  next->instrs().push_back(ret);
+  const auto& rpo = f->rpo();
+  ASSERT_EQ(rpo.size(), 2u);
+  EXPECT_EQ(rpo[0], e);
+  EXPECT_EQ(rpo[1], next);
+}
+
+TEST(CallGraphs, AtomicBlockRegistration) {
+  Module m;
+  FunctionBuilder b(m, "ab0", {});
+  b.ret();
+  EXPECT_EQ(m.add_atomic_block(b.function()), 0u);
+  EXPECT_EQ(m.atomic_blocks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace st::ir

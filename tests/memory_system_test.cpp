@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/memory_system.hpp"
+
+namespace st::sim {
+namespace {
+
+struct RecordingSink final : ConflictSink {
+  struct Event {
+    CoreId victim;
+    Addr line;
+    bool pc_valid;
+    std::uint16_t pc_tag;
+    std::uint32_t first_pc;
+    CoreId requester;
+  };
+  std::vector<Event> events;
+  MemorySystem* mem = nullptr;
+
+  void on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
+                         std::uint16_t pc_tag, std::uint32_t first_pc,
+                         CoreId requester) override {
+    events.push_back({victim, line, pc_valid, pc_tag, first_pc, requester});
+    mem->clear_speculative(victim, true);
+  }
+};
+
+struct Fixture {
+  MemConfig cfg;
+  MachineStats stats{4};
+  RecordingSink sink;
+  std::unique_ptr<MemorySystem> mem;
+
+  explicit Fixture(unsigned cores = 4) {
+    cfg.cores = cores;
+    mem = std::make_unique<MemorySystem>(cfg, stats);
+    mem->set_conflict_sink(&sink);
+    sink.mem = mem.get();
+  }
+};
+
+constexpr Addr A = 0x100000;  // arbitrary line-aligned addresses
+constexpr Addr B = 0x200040;
+
+TEST(MemorySystem, ColdLoadMissesThenHits) {
+  Fixture f;
+  const auto miss = f.mem->access(0, A, 8, AccessKind::Load, false, 0);
+  EXPECT_GE(miss.latency, f.cfg.l3_lat);  // cold: at least L3 + memory path
+  const auto hit = f.mem->access(0, A, 8, AccessKind::Load, false, 0);
+  EXPECT_EQ(hit.latency, f.cfg.l1_lat);
+  EXPECT_EQ(f.stats.core(0).l1_hits, 1u);
+  EXPECT_EQ(f.stats.core(0).l1_misses, 1u);
+}
+
+TEST(MemorySystem, SoleLoaderGetsExclusive) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, false, 0);
+  EXPECT_EQ(f.mem->peek_l1(0, line_addr(A))->state, Coh::E);
+  EXPECT_EQ(f.mem->dir_owner(A), 0);
+}
+
+TEST(MemorySystem, SecondLoaderDemotesToShared) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, false, 0);
+  f.mem->access(1, A, 8, AccessKind::Load, false, 0);
+  EXPECT_EQ(f.mem->peek_l1(1, line_addr(A))->state, Coh::S);
+  // The former exclusive owner forwards and keeps an owner-ish copy.
+  EXPECT_EQ(f.mem->peek_l1(0, line_addr(A))->state, Coh::O);
+  EXPECT_EQ(f.mem->dir_sharers(A), 0b11u);
+}
+
+TEST(MemorySystem, StoreInvalidatesOtherSharers) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, false, 0);
+  f.mem->access(1, A, 8, AccessKind::Load, false, 0);
+  f.mem->access(2, A, 8, AccessKind::Store, false, 0);
+  EXPECT_EQ(f.mem->peek_l1(0, line_addr(A)), nullptr);
+  EXPECT_EQ(f.mem->peek_l1(1, line_addr(A)), nullptr);
+  EXPECT_EQ(f.mem->peek_l1(2, line_addr(A))->state, Coh::M);
+  EXPECT_EQ(f.mem->dir_owner(A), 2);
+  f.mem->check_invariants();
+}
+
+TEST(MemorySystem, StoreHitOnExclusiveUpgradesSilently) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, false, 0);
+  const auto st = f.mem->access(0, A, 8, AccessKind::Store, false, 0);
+  EXPECT_EQ(st.latency, f.cfg.l1_lat);
+  EXPECT_EQ(f.mem->peek_l1(0, line_addr(A))->state, Coh::M);
+}
+
+TEST(MemorySystem, TransactionalBitsAndPcTag) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, true, 0xABCDE);
+  const L1Line* l = f.mem->peek_l1(0, line_addr(A));
+  ASSERT_NE(l, nullptr);
+  EXPECT_TRUE(l->tx_read);
+  EXPECT_FALSE(l->tx_write);
+  EXPECT_TRUE(l->pc_tag_valid);
+  EXPECT_EQ(l->pc_tag, 0xCDEu);  // low 12 bits of 0xABCDE
+  EXPECT_EQ(l->first_pc, 0xABCDEu);
+}
+
+TEST(MemorySystem, FirstPcIsNotOverwrittenBySecondAccess) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, true, 111);
+  f.mem->access(0, A, 8, AccessKind::Store, true, 222);
+  const L1Line* l = f.mem->peek_l1(0, line_addr(A));
+  EXPECT_EQ(l->first_pc, 111u);
+  EXPECT_TRUE(l->tx_write);
+}
+
+TEST(MemorySystem, RemoteStoreAbortsTransactionalReader) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, true, 77);
+  f.mem->access(1, A, 8, AccessKind::Store, false, 0);
+  ASSERT_EQ(f.sink.events.size(), 1u);
+  EXPECT_EQ(f.sink.events[0].victim, 0u);
+  EXPECT_EQ(f.sink.events[0].requester, 1u);
+  EXPECT_EQ(f.sink.events[0].first_pc, 77u);
+  // The store invalidates every remote copy, including the victim's.
+  EXPECT_EQ(f.mem->peek_l1(0, line_addr(A)), nullptr);
+}
+
+TEST(MemorySystem, RemoteLoadAbortsTransactionalWriter) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Store, true, 55);
+  f.mem->access(1, A, 8, AccessKind::Load, false, 0);
+  ASSERT_EQ(f.sink.events.size(), 1u);
+  EXPECT_EQ(f.sink.events[0].victim, 0u);
+  // The victim's speculatively written line must be gone.
+  EXPECT_EQ(f.mem->peek_l1(0, line_addr(A)), nullptr);
+  f.mem->check_invariants();
+}
+
+TEST(MemorySystem, RemoteLoadDoesNotAbortTransactionalReader) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, true, 1);
+  f.mem->access(1, A, 8, AccessKind::Load, false, 0);
+  EXPECT_TRUE(f.sink.events.empty());
+}
+
+TEST(MemorySystem, ClearSpeculativeKeepsReadLinesDropsWrittenLines) {
+  Fixture f;
+  f.mem->access(0, A, 8, AccessKind::Load, true, 1);
+  f.mem->access(0, B, 8, AccessKind::Store, true, 2);
+  f.mem->clear_speculative(0, /*invalidate_written=*/true);
+  const L1Line* ra = f.mem->peek_l1(0, line_addr(A));
+  ASSERT_NE(ra, nullptr);
+  EXPECT_FALSE(ra->speculative());
+  EXPECT_EQ(f.mem->peek_l1(0, line_addr(B)), nullptr);
+  f.mem->check_invariants();
+}
+
+TEST(MemorySystem, CommitKeepsWrittenLines) {
+  Fixture f;
+  f.mem->access(0, B, 8, AccessKind::Store, true, 2);
+  f.mem->clear_speculative(0, /*invalidate_written=*/false);
+  const L1Line* l = f.mem->peek_l1(0, line_addr(B));
+  ASSERT_NE(l, nullptr);
+  EXPECT_FALSE(l->speculative());
+  EXPECT_EQ(l->state, Coh::M);
+}
+
+TEST(MemorySystem, CapacityAbortWhenSetFullOfSpeculativeLines) {
+  MemConfig cfg;
+  cfg.cores = 1;
+  cfg.l1 = CacheGeometry{2 * 64 * 2, 2};  // 2 sets x 2 ways
+  MachineStats stats{1};
+  MemorySystem mem(cfg, stats);
+  RecordingSink sink;
+  sink.mem = &mem;
+  mem.set_conflict_sink(&sink);
+  // Fill set 0 with two speculative lines, then touch a third.
+  const Addr l0 = 0, l1 = 2 * kLineBytes, l2 = 4 * kLineBytes;
+  EXPECT_FALSE(mem.access(0, 0x10000 + l0, 8, AccessKind::Load, true, 1).capacity_abort);
+  EXPECT_FALSE(mem.access(0, 0x10000 + l1, 8, AccessKind::Load, true, 2).capacity_abort);
+  EXPECT_TRUE(mem.access(0, 0x10000 + l2, 8, AccessKind::Load, true, 3).capacity_abort);
+}
+
+TEST(MemorySystem, LineCrossingAccessDies) {
+  Fixture f;
+  EXPECT_DEATH(f.mem->access(0, A + 60, 8, AccessKind::Load, false, 0),
+               "crosses");
+}
+
+class MemoryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryFuzz, InvariantsHoldUnderRandomTraffic) {
+  Fixture f;
+  Xoshiro256ss rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const CoreId c = static_cast<CoreId>(rng.next_below(4));
+    const Addr a = 0x100000 + rng.next_below(64) * 8;
+    const auto kind =
+        rng.chance_pct(40) ? AccessKind::Store : AccessKind::Load;
+    // Non-transactional only: transactional traffic needs an HTM to manage
+    // abort state (covered by htm_test).
+    f.mem->access(c, a, 8, kind, false, 0);
+    if (i % 64 == 0) f.mem->check_invariants();
+  }
+  f.mem->check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryFuzz,
+                         ::testing::Values(1, 7, 42, 1337, 777777));
+
+}  // namespace
+}  // namespace st::sim

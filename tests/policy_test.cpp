@@ -1,0 +1,209 @@
+// The four-way locking policy of Fig. 6 plus the decay rules.
+#include <gtest/gtest.h>
+
+#include "stagger/policy.hpp"
+
+namespace st::stagger {
+namespace {
+
+/// A hand-built table with a parent chain 1 <- 2 <- 3 (3's parent is 2,
+/// 2's parent is 1).
+UnifiedAnchorTable chain_table() {
+  UnifiedAnchorTable t;
+  t.add(UnifiedEntry{100, true, 1, 1, 0});
+  t.add(UnifiedEntry{200, true, 2, 2, 1});
+  t.add(UnifiedEntry{300, true, 3, 3, 2});
+  return t;
+}
+
+constexpr sim::Addr kLineA = 0x40000;
+constexpr sim::Addr kLineB = 0x80000;
+
+TEST(Policy, TrainsUntilPcThresholdCleared) {
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p;
+  // PC_THR = 2: the first two aborts only gather statistics.
+  EXPECT_EQ(p.on_abort(ctx, 3, kLineA), PolicyDecision::kTraining);
+  EXPECT_EQ(ctx.configured_anchor, 0u);
+  EXPECT_EQ(p.on_abort(ctx, 3, kLineB), PolicyDecision::kTraining);
+  EXPECT_EQ(ctx.configured_anchor, 0u);
+}
+
+TEST(Policy, PreciseModeWhenPcAndAddrRecur) {
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p;
+  for (int i = 0; i < 3; ++i) p.on_abort(ctx, 3, kLineA);
+  // Fourth abort: both counts exceed their thresholds (2).
+  EXPECT_EQ(p.on_abort(ctx, 3, kLineA), PolicyDecision::kPrecise);
+  EXPECT_EQ(ctx.configured_anchor, 3u);
+  EXPECT_EQ(ctx.block_address, kLineA);
+}
+
+TEST(Policy, CoarseModeWhenOnlyPcRecurs) {
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p;
+  // Same anchor, always-different addresses (pointer-chasing pattern).
+  sim::Addr a = 0x100000;
+  PolicyDecision d = PolicyDecision::kTraining;
+  for (int i = 0; i < 4; ++i) d = p.on_abort(ctx, 3, a += 64);
+  EXPECT_EQ(d, PolicyDecision::kCoarse);
+  EXPECT_EQ(ctx.configured_anchor, 3u);
+  EXPECT_EQ(ctx.block_address, 0u);  // wildcard
+}
+
+TEST(Policy, PromotionClimbsParentChainAfterPromThr) {
+  PolicyConfig cfg;
+  cfg.prom_thr = 2;
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p(cfg);
+  sim::Addr a = 0x100000;
+  PolicyDecision last = PolicyDecision::kTraining;
+  // Keep aborting in coarse mode until promotion fires.
+  for (int i = 0; i < 8 && last != PolicyDecision::kPromoted; ++i)
+    last = p.on_abort(ctx, 3, a += 64);
+  EXPECT_EQ(last, PolicyDecision::kPromoted);
+  EXPECT_EQ(ctx.configured_anchor, 2u);  // one level up
+  // Continued failure promotes to the grandparent.
+  last = PolicyDecision::kTraining;
+  for (int i = 0; i < 8 && ctx.configured_anchor != 1u; ++i)
+    last = p.on_abort(ctx, 3, a += 64);
+  EXPECT_EQ(ctx.configured_anchor, 1u);
+  // The chain tops out: further promotion stays at the root anchor.
+  for (int i = 0; i < 8; ++i) p.on_abort(ctx, 3, a += 64);
+  EXPECT_EQ(ctx.configured_anchor, 1u);
+}
+
+TEST(Policy, FallsBackToTrainingWhenPatternChanges) {
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p;
+  for (int i = 0; i < 4; ++i) p.on_abort(ctx, 3, kLineA);
+  ASSERT_NE(ctx.configured_anchor, 0u);
+  // A burst of aborts on changing anchors erases the pattern.
+  p.on_abort(ctx, 1, kLineB);
+  p.on_abort(ctx, 2, kLineB + 64);
+  p.on_abort(ctx, 1, kLineB + 128);
+  p.on_abort(ctx, 2, kLineB + 192);
+  const auto d = p.on_abort(ctx, 1, kLineB + 256);
+  EXPECT_EQ(d, PolicyDecision::kTraining);
+  EXPECT_EQ(ctx.configured_anchor, 0u);
+}
+
+TEST(Policy, UncontendedHeldCommitDecaysActivation) {
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p;
+  for (int i = 0; i < 4; ++i) p.on_abort(ctx, 3, kLineA);
+  ASSERT_EQ(ctx.configured_anchor, 3u);
+  // Uncontended commits holding the lock append empty entries until the
+  // PC count drops to the threshold.
+  for (int i = 0; i < 16 && ctx.configured_anchor != 0; ++i)
+    p.on_commit(ctx, /*held=*/true, /*contended=*/false, /*first=*/true);
+  EXPECT_EQ(ctx.configured_anchor, 0u);
+}
+
+TEST(Policy, ContendedHeldCommitDoesNotDecay) {
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p;
+  for (int i = 0; i < 4; ++i) p.on_abort(ctx, 3, kLineA);
+  ASSERT_EQ(ctx.configured_anchor, 3u);
+  for (int i = 0; i < 16; ++i)
+    p.on_commit(ctx, /*held=*/true, /*contended=*/true, /*first=*/false);
+  EXPECT_EQ(ctx.configured_anchor, 3u);
+}
+
+TEST(Policy, LockTimeoutDecaysActivation) {
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p;
+  for (int i = 0; i < 4; ++i) p.on_abort(ctx, 3, kLineA);
+  ASSERT_NE(ctx.configured_anchor, 0u);
+  for (int i = 0; i < 16 && ctx.configured_anchor != 0; ++i)
+    p.on_lock_timeout(ctx);
+  EXPECT_EQ(ctx.configured_anchor, 0u);
+}
+
+TEST(Policy, CleanStreakDecaysWithoutHolds) {
+  PolicyConfig cfg;
+  cfg.clean_decay = 2;
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p(cfg);
+  for (int i = 0; i < 4; ++i) p.on_abort(ctx, 3, kLineA);
+  ASSERT_NE(ctx.configured_anchor, 0u);
+  // Retry-free commits without ever reaching the lock (e.g. precise mode
+  // address never matching again) still decay the stale pattern.
+  for (int i = 0; i < 40 && ctx.configured_anchor != 0; ++i)
+    p.on_commit(ctx, /*held=*/false, /*contended=*/false, /*first=*/true);
+  EXPECT_EQ(ctx.configured_anchor, 0u);
+}
+
+TEST(Policy, RetriedCommitsResetCleanStreak) {
+  PolicyConfig cfg;
+  cfg.clean_decay = 2;
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p(cfg);
+  for (int i = 0; i < 4; ++i) p.on_abort(ctx, 3, kLineA);
+  ASSERT_NE(ctx.configured_anchor, 0u);
+  for (int i = 0; i < 40; ++i) {
+    p.on_commit(ctx, false, false, /*first=*/true);
+    p.on_commit(ctx, false, false, /*first=*/false);  // streak broken
+  }
+  EXPECT_NE(ctx.configured_anchor, 0u);
+}
+
+TEST(Policy, AddrOnlyUsesPreciseModeOnly) {
+  PolicyConfig cfg;
+  cfg.addr_only = true;
+  auto t = chain_table();
+  ABContext ctx(&t);
+  LockingPolicy p(cfg);
+  // Recurring address: activate the (fixed) entry ALP precisely.
+  for (int i = 0; i < 3; ++i) p.on_abort(ctx, 9, kLineA);
+  EXPECT_EQ(p.on_abort(ctx, 9, kLineA), PolicyDecision::kPrecise);
+  EXPECT_EQ(ctx.configured_anchor, 9u);
+  EXPECT_EQ(ctx.block_address, kLineA);
+  // Varying addresses: AddrOnly has no coarse mode, it just trains.
+  ABContext ctx2(&t);
+  sim::Addr a = 0x100000;
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(p.on_abort(ctx2, 9, a += 64), PolicyDecision::kTraining);
+}
+
+TEST(AbContext, HistoryRingEvictsOldest) {
+  UnifiedAnchorTable t;
+  ABContext ctx(&t, 4);
+  for (std::uint32_t i = 1; i <= 6; ++i) ctx.append_history(i, i * 64);
+  EXPECT_EQ(ctx.history_len(), 4u);
+  EXPECT_EQ(ctx.history_at(0).anchor_alp, 3u);  // oldest surviving
+  EXPECT_EQ(ctx.history_at(3).anchor_alp, 6u);  // newest
+  EXPECT_EQ(ctx.count_pc(2), 0u);               // evicted
+  EXPECT_EQ(ctx.count_pc(5), 1u);
+}
+
+TEST(AbContext, CountersIgnoreZeroSentinels) {
+  UnifiedAnchorTable t;
+  ABContext ctx(&t);
+  ctx.append_history(0, 0);
+  ctx.append_history(0, 0);
+  EXPECT_EQ(ctx.count_pc(0), 0u);
+  EXPECT_EQ(ctx.count_addr(0), 0u);
+}
+
+TEST(AbContext, ArmRestoresConfiguredAnchor) {
+  UnifiedAnchorTable t;
+  ABContext ctx(&t);
+  ctx.configured_anchor = 7;
+  ctx.active_anchor = 0;  // consumed by a previous acquire
+  ctx.arm();
+  EXPECT_EQ(ctx.active_anchor, 7u);
+}
+
+}  // namespace
+}  // namespace st::stagger

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace st::sim {
+namespace {
+
+TEST(Stats, TotalSumsAcrossCores) {
+  MachineStats s(3);
+  s.core(0).commits = 5;
+  s.core(1).commits = 7;
+  s.core(2).aborts_conflict = 2;
+  s.core(0).cycles_useful_tx = 100;
+  s.core(2).cycles_useful_tx = 50;
+  const CoreStats t = s.total();
+  EXPECT_EQ(t.commits, 12u);
+  EXPECT_EQ(t.aborts_conflict, 2u);
+  EXPECT_EQ(t.cycles_useful_tx, 150u);
+}
+
+TEST(Stats, TotalAbortsSumsAllCauses) {
+  CoreStats c;
+  c.aborts_conflict = 1;
+  c.aborts_capacity = 2;
+  c.aborts_explicit = 3;
+  c.aborts_glock = 4;
+  EXPECT_EQ(c.total_aborts(), 10u);
+}
+
+TEST(Stats, LocalityOnEmptyTraceIsZero) {
+  MachineStats s(1);
+  EXPECT_DOUBLE_EQ(s.conflict_addr_locality(), 0.0);
+  EXPECT_DOUBLE_EQ(s.conflict_pc_locality(), 0.0);
+}
+
+TEST(Stats, AddrLocalityIsTop1Share) {
+  MachineStats s(1);
+  for (int i = 0; i < 6; ++i) s.record_abort({0, 0x1000, 1, 1, 0});
+  for (int i = 0; i < 2; ++i) s.record_abort({0, 0x2000, 2, 2, 0});
+  for (int i = 0; i < 2; ++i) s.record_abort({0, 0x3000, 3, 3, 0});
+  EXPECT_DOUBLE_EQ(s.conflict_addr_locality(), 0.6);
+}
+
+TEST(Stats, PcLocalityIsTop3Share) {
+  MachineStats s(1);
+  // Four distinct PCs: 4 + 3 + 2 + 1 aborts; top-3 = 9/10.
+  for (std::uint32_t pc = 1; pc <= 4; ++pc)
+    for (std::uint32_t i = 0; i < 5 - pc; ++i)
+      s.record_abort({0, 0x1000 * pc, pc, static_cast<std::uint16_t>(pc), 0});
+  EXPECT_DOUBLE_EQ(s.conflict_pc_locality(), 0.9);
+}
+
+TEST(Stats, ClearResetsEverything) {
+  MachineStats s(2);
+  s.core(1).commits = 3;
+  s.record_abort({0, 0x40, 1, 1, 0});
+  s.clear();
+  EXPECT_EQ(s.total().commits, 0u);
+  EXPECT_TRUE(s.abort_trace().empty());
+}
+
+}  // namespace
+}  // namespace st::sim

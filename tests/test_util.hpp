@@ -1,0 +1,81 @@
+// Shared fixtures: build a small TxIR module, compile it under a scheme,
+// stand up a TxSystem, and run atomic blocks to completion.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/tx_executor.hpp"
+#include "workloads/harness.hpp"
+
+namespace st::testutil {
+
+/// Owns one compiled module + machine for direct executor-level tests.
+struct MiniSystem {
+  ir::Module module;
+  stagger::CompiledProgram prog;
+  std::unique_ptr<runtime::TxSystem> sys;
+
+  /// Compile (after the caller built IR into `module`) and boot a machine.
+  void boot(runtime::Scheme scheme = runtime::Scheme::kBaseline,
+            unsigned threads = 1, std::uint64_t seed = 7) {
+    prog = stagger::compile(module, runtime::instrument_mode_for(scheme), 12);
+    runtime::RuntimeConfig rt;
+    rt.cores = threads;
+    rt.scheme = scheme;
+    rt.seed = seed;
+    rt.policy.addr_only = scheme == runtime::Scheme::kAddrOnly;
+    sys = std::make_unique<runtime::TxSystem>(rt, prog);
+  }
+
+  /// Runs one atomic block synchronously on `core` (no other cores move).
+  std::uint64_t run_ab(unsigned ab_id, std::vector<std::uint64_t> args,
+                       sim::CoreId core = 0) {
+    runtime::TxExecutor exec(*sys, core);
+    exec.start(ab_id, std::move(args));
+    while (!exec.finished()) exec.step();
+    return exec.take_result();
+  }
+};
+
+/// CoreTask adapter: runs a fixed schedule of atomic blocks on one core.
+class ScriptTask final : public sim::CoreTask {
+ public:
+  struct Item {
+    unsigned ab_id;
+    std::vector<std::uint64_t> args;
+    sim::Cycle think = 10;
+  };
+  ScriptTask(runtime::TxSystem& sys, sim::CoreId core, std::vector<Item> items)
+      : exec_(sys, core), items_(std::move(items)) {}
+
+  sim::Cycle step(sim::Machine&, sim::CoreId) override {
+    if (done_) return 1;
+    if (active_) {
+      if (!exec_.finished()) return exec_.step();
+      results_.push_back(exec_.take_result());
+      active_ = false;
+      ++next_;
+    }
+    if (next_ >= items_.size()) {
+      done_ = true;
+      return 1;
+    }
+    const Item& it = items_[next_];
+    exec_.start(it.ab_id, it.args);
+    active_ = true;
+    return it.think;
+  }
+  bool done() const override { return done_; }
+  const std::vector<std::uint64_t>& results() const { return results_; }
+
+ private:
+  runtime::TxExecutor exec_;
+  std::vector<Item> items_;
+  std::vector<std::uint64_t> results_;
+  std::size_t next_ = 0;
+  bool active_ = false;
+  bool done_ = false;
+};
+
+}  // namespace st::testutil

@@ -1,0 +1,177 @@
+// Exhaustive verifier/printer edge cases: every diagnostic the verifier can
+// produce, and printability of every opcode.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace st::ir {
+namespace {
+
+Function* empty_fn(Module& m, const char* name) {
+  Function* f = m.add_function(name, {});
+  f->add_block("entry");
+  return f;
+}
+
+void push_ret(Function* f) {
+  Instr ret;
+  ret.op = Op::Ret;
+  f->entry()->instrs().push_back(ret);
+}
+
+TEST(VerifierEdge, EmptyFunctionIsInvalid) {
+  Module m;
+  Function* f = m.add_function("empty", {});
+  const auto errs = verify_function(*f);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("no blocks"), std::string::npos);
+}
+
+TEST(VerifierEdge, TerminatorMidBlock) {
+  Module m;
+  Function* f = empty_fn(m, "f");
+  push_ret(f);
+  push_ret(f);  // second terminator makes the first mid-block
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("mid-block"), std::string::npos);
+}
+
+TEST(VerifierEdge, RegisterOutOfRange) {
+  Module m;
+  Function* f = empty_fn(m, "f");
+  Instr mov;
+  mov.op = Op::Mov;
+  mov.dst = 100;  // no such register
+  mov.a = 0;
+  f->entry()->instrs().push_back(mov);
+  push_ret(f);
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("register out of range"), std::string::npos);
+}
+
+TEST(VerifierEdge, BadAccessSize) {
+  Module m;
+  Function* f = m.add_function("f", {nullptr});
+  f->add_block("entry");
+  Instr ld;
+  ld.op = Op::Load;
+  ld.dst = f->fresh_reg();
+  ld.a = 0;
+  ld.acc_size = 3;  // not a power of two
+  f->entry()->instrs().push_back(ld);
+  push_ret(f);
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("bad load size"), std::string::npos);
+}
+
+TEST(VerifierEdge, CondBrWithoutCondition) {
+  Module m;
+  Function* f = empty_fn(m, "f");
+  BasicBlock* other = f->add_block("other");
+  push_ret(f);  // wait: entry needs the condbr, not ret
+  f->entry()->instrs().clear();
+  Instr br;
+  br.op = Op::CondBr;
+  br.a = kNoReg;
+  br.t1 = other;
+  br.t2 = other;
+  f->entry()->instrs().push_back(br);
+  Instr ret;
+  ret.op = Op::Ret;
+  other->instrs().push_back(ret);
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("without condition"), std::string::npos);
+}
+
+TEST(VerifierEdge, GepFieldOutOfRange) {
+  Module m;
+  const StructType* t =
+      m.add_type(make_struct("s", {{"a", 0, 8, nullptr}}));
+  Function* f = m.add_function("f", {t});
+  f->add_block("entry");
+  Instr gep;
+  gep.op = Op::Gep;
+  gep.dst = f->fresh_reg();
+  gep.a = 0;
+  gep.type = t;
+  gep.field = 5;  // struct has one field
+  f->entry()->instrs().push_back(gep);
+  push_ret(f);
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("malformed gep"), std::string::npos);
+}
+
+TEST(VerifierEdge, AlpointNeedsDataAddress) {
+  Module m;
+  Function* f = empty_fn(m, "f");
+  Instr alp;
+  alp.op = Op::AlPoint;
+  alp.alp_id = 1;
+  alp.a = kNoReg;
+  f->entry()->instrs().push_back(alp);
+  push_ret(f);
+  const auto errs = verify_function(*f);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("alpoint"), std::string::npos);
+}
+
+TEST(VerifierEdge, VerifyModuleAggregatesAllFunctions) {
+  Module m;
+  m.add_function("bad1", {});
+  m.add_function("bad2", {});
+  EXPECT_EQ(verify_module(m).size(), 2u);
+}
+
+TEST(PrinterEdge, EveryOpcodeHasAName) {
+  for (int op = 0; op <= static_cast<int>(Op::Nop); ++op)
+    EXPECT_STRNE(op_name(static_cast<Op>(op)), "?");
+}
+
+TEST(PrinterEdge, PrintsAllInstructionShapes) {
+  Module m;
+  const StructType* t = m.add_type(
+      make_struct("obj", {{"v", 0, 8, nullptr}}));
+  const StructType* arr = m.add_type(make_array("arr", 8, 4, nullptr));
+  FunctionBuilder b(m, "all_shapes", {t, nullptr});
+  const Reg p = b.param(0), x = b.param(1);
+  const Reg c = b.const_i(7);
+  const Reg sum = b.add(x, c);
+  const Reg g = b.gep(p, t, "v");
+  b.store(g, sum, 8);
+  const Reg l = b.load(g, 8);
+  const Reg e = b.gep_index(p, arr, x);
+  b.nt_store(e, l, 8);
+  b.nt_load(e, 8);
+  const Reg o = b.alloc(t);
+  b.free_(o);
+  b.if_(b.cmp_slt(l, c), [&] {});
+  b.ret(sum);
+  m.finalize();
+  const std::string s = print_function(*b.function());
+  for (const char* needle :
+       {"const", "add", "gep", "store8", "load8", "gep.idx", "nt.store",
+        "nt.load", "alloc", "free", "br.cond", "ret", "pc="}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle << "\n" << s;
+  }
+}
+
+TEST(PrinterEdge, PrintsModuleWithMultipleFunctions) {
+  Module m;
+  FunctionBuilder a(m, "first", {});
+  a.ret();
+  FunctionBuilder b(m, "second", {});
+  b.ret();
+  const std::string s = print_module(m);
+  EXPECT_NE(s.find("@first"), std::string::npos);
+  EXPECT_NE(s.find("@second"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st::ir

@@ -1,0 +1,126 @@
+// Per-workload behaviour: registry completeness, metric sanity, contention
+// classes, and invariant verification under concurrency (each run_workload
+// call already executes the workload's own verify()).
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hpp"
+
+namespace st::workloads {
+namespace {
+
+RunOptions opts(runtime::Scheme s, unsigned threads, double scale) {
+  RunOptions o;
+  o.scheme = s;
+  o.threads = threads;
+  o.ops_scale = scale;
+  o.seed = 9;
+  return o;
+}
+
+TEST(Registry, HasAllTenPaperBenchmarks) {
+  const auto& reg = workload_registry();
+  ASSERT_EQ(reg.size(), 10u);
+  for (const char* name :
+       {"genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation",
+        "list-lo", "list-hi", "tsp", "memcached"}) {
+    EXPECT_NE(make_workload(name), nullptr) << name;
+  }
+  EXPECT_EQ(make_workload("nope"), nullptr);
+}
+
+class PerWorkload : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PerWorkload, SingleThreadRunIsAbortFreeAndVerifies) {
+  const RunResult r =
+      run_workload(GetParam(), opts(runtime::Scheme::kBaseline, 1, 0.1));
+  EXPECT_EQ(r.totals.commits, r.total_ops);
+  EXPECT_EQ(r.totals.aborts_conflict, 0u);
+  EXPECT_EQ(r.totals.irrevocable_entries, 0u);
+}
+
+TEST_P(PerWorkload, ConcurrentStaggeredRunVerifiesInvariants) {
+  // verify() inside run_workload aborts the process on any corruption.
+  const RunResult r =
+      run_workload(GetParam(), opts(runtime::Scheme::kStaggered, 8, 0.05));
+  EXPECT_EQ(r.totals.commits, r.total_ops);
+}
+
+TEST_P(PerWorkload, MetricsAreWellFormed) {
+  const RunResult r =
+      run_workload(GetParam(), opts(runtime::Scheme::kStaggered, 4, 0.05));
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.throughput(), 0.0);
+  EXPECT_GE(r.pct_tm(), 0.0);
+  EXPECT_LE(r.pct_tm(), 100.0);
+  EXPECT_GE(r.pct_irrevocable(), 0.0);
+  EXPECT_GE(r.anchor_accuracy(), 0.0);
+  EXPECT_LE(r.anchor_accuracy(), 1.0);
+  EXPECT_GT(r.instrs_per_txn(), 0.0);
+  EXPECT_GT(r.atomic_blocks, 0u);
+  EXPECT_GT(r.static_loads_stores, 0u);
+  EXPECT_GE(r.static_loads_stores, r.static_anchors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PerWorkload,
+    ::testing::Values("genome", "intruder", "kmeans", "labyrinth", "ssca2",
+                      "vacation", "list-lo", "list-hi", "tsp", "memcached"));
+
+TEST(Workloads, ListHiContendsMoreThanListLo) {
+  const auto lo =
+      run_workload("list-lo", opts(runtime::Scheme::kBaseline, 8, 0.2));
+  const auto hi =
+      run_workload("list-hi", opts(runtime::Scheme::kBaseline, 8, 0.2));
+  EXPECT_GT(hi.aborts_per_commit(), lo.aborts_per_commit());
+}
+
+TEST(Workloads, Ssca2IsLowContention) {
+  const auto r =
+      run_workload("ssca2", opts(runtime::Scheme::kBaseline, 8, 0.2));
+  EXPECT_LT(r.aborts_per_commit(), 0.2);
+}
+
+TEST(Workloads, AnchorAccuracyIsHighWithHardwarePcTags) {
+  const auto r =
+      run_workload("list-hi", opts(runtime::Scheme::kStaggered, 8, 0.3));
+  // Paper Table 3: all benchmarks identify the right anchor >95% of aborts.
+  EXPECT_GT(r.anchor_accuracy(), 0.95);
+}
+
+TEST(Workloads, InstrumentationSelectsMinorityOfAccesses) {
+  unsigned anchors = 0, accesses = 0;
+  for (const auto& [name, factory] : workload_registry()) {
+    (void)factory;
+    const auto r =
+        run_workload(name, opts(runtime::Scheme::kStaggered, 1, 0.02));
+    // Individual tiny kernels (labyrinth) may anchor everything; across the
+    // suite, anchors must be a clear minority of analyzed accesses (paper
+    // Table 3 averages 13%).
+    EXPECT_LE(r.static_anchors, r.static_loads_stores) << name;
+    EXPECT_GT(r.static_anchors, 0u) << name;
+    anchors += r.static_anchors;
+    accesses += r.static_loads_stores;
+  }
+  EXPECT_LT(anchors, accesses / 2);
+}
+
+TEST(Workloads, SeedChangesScheduleButNotInvariants) {
+  RunOptions a = opts(runtime::Scheme::kStaggered, 4, 0.05);
+  RunOptions b = a;
+  b.seed = 1234;
+  const auto ra = run_workload("memcached", a);
+  const auto rb = run_workload("memcached", b);
+  EXPECT_EQ(ra.totals.commits, rb.totals.commits);  // same op counts
+  EXPECT_NE(ra.cycles, rb.cycles);  // different interleavings
+}
+
+TEST(Workloads, ThreadScalingIncreasesThroughputOnLowContention) {
+  const auto t1 =
+      run_workload("ssca2", opts(runtime::Scheme::kBaseline, 1, 0.2));
+  const auto t8 =
+      run_workload("ssca2", opts(runtime::Scheme::kBaseline, 8, 0.2));
+  EXPECT_GT(t8.throughput(), 3.0 * t1.throughput());
+}
+
+}  // namespace
+}  // namespace st::workloads

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy.dir/ablation_lazy.cpp.o"
+  "CMakeFiles/ablation_lazy.dir/ablation_lazy.cpp.o.d"
+  "ablation_lazy"
+  "ablation_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

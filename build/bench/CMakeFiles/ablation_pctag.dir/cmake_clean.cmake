@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pctag.dir/ablation_pctag.cpp.o"
+  "CMakeFiles/ablation_pctag.dir/ablation_pctag.cpp.o.d"
+  "ablation_pctag"
+  "ablation_pctag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pctag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_txsched.dir/ablation_txsched.cpp.o"
+  "CMakeFiles/ablation_txsched.dir/ablation_txsched.cpp.o.d"
+  "ablation_txsched"
+  "ablation_txsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_txsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

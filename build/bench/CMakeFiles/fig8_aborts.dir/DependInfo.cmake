@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_aborts.cpp" "bench/CMakeFiles/fig8_aborts.dir/fig8_aborts.cpp.o" "gcc" "bench/CMakeFiles/fig8_aborts.dir/fig8_aborts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_stagger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

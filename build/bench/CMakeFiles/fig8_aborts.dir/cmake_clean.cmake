@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_aborts.dir/fig8_aborts.cpp.o"
+  "CMakeFiles/fig8_aborts.dir/fig8_aborts.cpp.o.d"
+  "fig8_aborts"
+  "fig8_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_contention.dir/table1_contention.cpp.o"
+  "CMakeFiles/table1_contention.dir/table1_contention.cpp.o.d"
+  "table1_contention"
+  "table1_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_instrumentation.dir/table3_instrumentation.cpp.o"
+  "CMakeFiles/table3_instrumentation.dir/table3_instrumentation.cpp.o.d"
+  "table3_instrumentation"
+  "table3_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

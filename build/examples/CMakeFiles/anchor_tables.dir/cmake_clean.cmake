@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_tables.dir/anchor_tables.cpp.o"
+  "CMakeFiles/anchor_tables.dir/anchor_tables.cpp.o.d"
+  "anchor_tables"
+  "anchor_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

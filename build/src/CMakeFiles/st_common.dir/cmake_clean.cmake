@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_common.dir/common/rng.cpp.o"
+  "CMakeFiles/st_common.dir/common/rng.cpp.o.d"
+  "libst_common.a"
+  "libst_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

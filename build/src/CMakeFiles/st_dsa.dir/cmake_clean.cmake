@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_dsa.dir/dsa/bottomup.cpp.o"
+  "CMakeFiles/st_dsa.dir/dsa/bottomup.cpp.o.d"
+  "CMakeFiles/st_dsa.dir/dsa/dsgraph.cpp.o"
+  "CMakeFiles/st_dsa.dir/dsa/dsgraph.cpp.o.d"
+  "CMakeFiles/st_dsa.dir/dsa/local.cpp.o"
+  "CMakeFiles/st_dsa.dir/dsa/local.cpp.o.d"
+  "libst_dsa.a"
+  "libst_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_htm.dir/htm/htm.cpp.o"
+  "CMakeFiles/st_htm.dir/htm/htm.cpp.o.d"
+  "libst_htm.a"
+  "libst_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

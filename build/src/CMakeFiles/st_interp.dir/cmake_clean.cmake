@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_interp.dir/interp/interp.cpp.o"
+  "CMakeFiles/st_interp.dir/interp/interp.cpp.o.d"
+  "libst_interp.a"
+  "libst_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/st_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/callgraph.cpp" "src/CMakeFiles/st_ir.dir/ir/callgraph.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/callgraph.cpp.o.d"
+  "/root/repo/src/ir/domtree.cpp" "src/CMakeFiles/st_ir.dir/ir/domtree.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/domtree.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/st_ir.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instr.cpp" "src/CMakeFiles/st_ir.dir/ir/instr.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/instr.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/CMakeFiles/st_ir.dir/ir/module.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/module.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/st_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/st_ir.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/st_ir.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/st_ir.dir/ir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/callgraph.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/callgraph.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/domtree.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/domtree.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/function.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/function.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/instr.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/instr.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/module.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/module.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/type.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/type.cpp.o.d"
+  "CMakeFiles/st_ir.dir/ir/verifier.cpp.o"
+  "CMakeFiles/st_ir.dir/ir/verifier.cpp.o.d"
+  "libst_ir.a"
+  "libst_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

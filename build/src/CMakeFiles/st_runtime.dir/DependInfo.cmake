@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/tx_executor.cpp" "src/CMakeFiles/st_runtime.dir/runtime/tx_executor.cpp.o" "gcc" "src/CMakeFiles/st_runtime.dir/runtime/tx_executor.cpp.o.d"
+  "/root/repo/src/runtime/tx_system.cpp" "src/CMakeFiles/st_runtime.dir/runtime/tx_system.cpp.o" "gcc" "src/CMakeFiles/st_runtime.dir/runtime/tx_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_stagger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

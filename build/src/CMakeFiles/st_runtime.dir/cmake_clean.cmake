@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_runtime.dir/runtime/tx_executor.cpp.o"
+  "CMakeFiles/st_runtime.dir/runtime/tx_executor.cpp.o.d"
+  "CMakeFiles/st_runtime.dir/runtime/tx_system.cpp.o"
+  "CMakeFiles/st_runtime.dir/runtime/tx_system.cpp.o.d"
+  "libst_runtime.a"
+  "libst_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/st_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/st_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/heap.cpp" "src/CMakeFiles/st_sim.dir/sim/heap.cpp.o" "gcc" "src/CMakeFiles/st_sim.dir/sim/heap.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/st_sim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/st_sim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/CMakeFiles/st_sim.dir/sim/memory_system.cpp.o" "gcc" "src/CMakeFiles/st_sim.dir/sim/memory_system.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/st_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/st_sim.dir/sim/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/st_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/st_sim.dir/sim/heap.cpp.o"
+  "CMakeFiles/st_sim.dir/sim/heap.cpp.o.d"
+  "CMakeFiles/st_sim.dir/sim/machine.cpp.o"
+  "CMakeFiles/st_sim.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/st_sim.dir/sim/memory_system.cpp.o"
+  "CMakeFiles/st_sim.dir/sim/memory_system.cpp.o.d"
+  "CMakeFiles/st_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/st_sim.dir/sim/stats.cpp.o.d"
+  "libst_sim.a"
+  "libst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

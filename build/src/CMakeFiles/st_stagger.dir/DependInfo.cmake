@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stagger/abcontext.cpp" "src/CMakeFiles/st_stagger.dir/stagger/abcontext.cpp.o" "gcc" "src/CMakeFiles/st_stagger.dir/stagger/abcontext.cpp.o.d"
+  "/root/repo/src/stagger/advisory_locks.cpp" "src/CMakeFiles/st_stagger.dir/stagger/advisory_locks.cpp.o" "gcc" "src/CMakeFiles/st_stagger.dir/stagger/advisory_locks.cpp.o.d"
+  "/root/repo/src/stagger/anchor_pass.cpp" "src/CMakeFiles/st_stagger.dir/stagger/anchor_pass.cpp.o" "gcc" "src/CMakeFiles/st_stagger.dir/stagger/anchor_pass.cpp.o.d"
+  "/root/repo/src/stagger/anchor_table.cpp" "src/CMakeFiles/st_stagger.dir/stagger/anchor_table.cpp.o" "gcc" "src/CMakeFiles/st_stagger.dir/stagger/anchor_table.cpp.o.d"
+  "/root/repo/src/stagger/cpc_map.cpp" "src/CMakeFiles/st_stagger.dir/stagger/cpc_map.cpp.o" "gcc" "src/CMakeFiles/st_stagger.dir/stagger/cpc_map.cpp.o.d"
+  "/root/repo/src/stagger/instrument.cpp" "src/CMakeFiles/st_stagger.dir/stagger/instrument.cpp.o" "gcc" "src/CMakeFiles/st_stagger.dir/stagger/instrument.cpp.o.d"
+  "/root/repo/src/stagger/policy.cpp" "src/CMakeFiles/st_stagger.dir/stagger/policy.cpp.o" "gcc" "src/CMakeFiles/st_stagger.dir/stagger/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_stagger.dir/stagger/abcontext.cpp.o"
+  "CMakeFiles/st_stagger.dir/stagger/abcontext.cpp.o.d"
+  "CMakeFiles/st_stagger.dir/stagger/advisory_locks.cpp.o"
+  "CMakeFiles/st_stagger.dir/stagger/advisory_locks.cpp.o.d"
+  "CMakeFiles/st_stagger.dir/stagger/anchor_pass.cpp.o"
+  "CMakeFiles/st_stagger.dir/stagger/anchor_pass.cpp.o.d"
+  "CMakeFiles/st_stagger.dir/stagger/anchor_table.cpp.o"
+  "CMakeFiles/st_stagger.dir/stagger/anchor_table.cpp.o.d"
+  "CMakeFiles/st_stagger.dir/stagger/cpc_map.cpp.o"
+  "CMakeFiles/st_stagger.dir/stagger/cpc_map.cpp.o.d"
+  "CMakeFiles/st_stagger.dir/stagger/instrument.cpp.o"
+  "CMakeFiles/st_stagger.dir/stagger/instrument.cpp.o.d"
+  "CMakeFiles/st_stagger.dir/stagger/policy.cpp.o"
+  "CMakeFiles/st_stagger.dir/stagger/policy.cpp.o.d"
+  "libst_stagger.a"
+  "libst_stagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_stagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

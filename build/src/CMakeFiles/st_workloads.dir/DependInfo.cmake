@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dslib/bst.cpp" "src/CMakeFiles/st_workloads.dir/workloads/dslib/bst.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/dslib/bst.cpp.o.d"
+  "/root/repo/src/workloads/dslib/hashtable.cpp" "src/CMakeFiles/st_workloads.dir/workloads/dslib/hashtable.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/dslib/hashtable.cpp.o.d"
+  "/root/repo/src/workloads/dslib/list.cpp" "src/CMakeFiles/st_workloads.dir/workloads/dslib/list.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/dslib/list.cpp.o.d"
+  "/root/repo/src/workloads/dslib/pqueue.cpp" "src/CMakeFiles/st_workloads.dir/workloads/dslib/pqueue.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/dslib/pqueue.cpp.o.d"
+  "/root/repo/src/workloads/genome.cpp" "src/CMakeFiles/st_workloads.dir/workloads/genome.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/genome.cpp.o.d"
+  "/root/repo/src/workloads/harness.cpp" "src/CMakeFiles/st_workloads.dir/workloads/harness.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/harness.cpp.o.d"
+  "/root/repo/src/workloads/intruder.cpp" "src/CMakeFiles/st_workloads.dir/workloads/intruder.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/intruder.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/CMakeFiles/st_workloads.dir/workloads/kmeans.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/labyrinth.cpp" "src/CMakeFiles/st_workloads.dir/workloads/labyrinth.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/labyrinth.cpp.o.d"
+  "/root/repo/src/workloads/list_bench.cpp" "src/CMakeFiles/st_workloads.dir/workloads/list_bench.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/list_bench.cpp.o.d"
+  "/root/repo/src/workloads/memcached.cpp" "src/CMakeFiles/st_workloads.dir/workloads/memcached.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/memcached.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/st_workloads.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/ssca2.cpp" "src/CMakeFiles/st_workloads.dir/workloads/ssca2.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/ssca2.cpp.o.d"
+  "/root/repo/src/workloads/tsp.cpp" "src/CMakeFiles/st_workloads.dir/workloads/tsp.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/tsp.cpp.o.d"
+  "/root/repo/src/workloads/vacation.cpp" "src/CMakeFiles/st_workloads.dir/workloads/vacation.cpp.o" "gcc" "src/CMakeFiles/st_workloads.dir/workloads/vacation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_stagger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_workloads.dir/workloads/dslib/bst.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/dslib/bst.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/dslib/hashtable.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/dslib/hashtable.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/dslib/list.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/dslib/list.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/dslib/pqueue.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/dslib/pqueue.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/genome.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/genome.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/harness.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/harness.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/intruder.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/intruder.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/kmeans.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/kmeans.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/labyrinth.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/labyrinth.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/list_bench.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/list_bench.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/memcached.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/memcached.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/registry.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/registry.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/ssca2.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/ssca2.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/tsp.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/tsp.cpp.o.d"
+  "CMakeFiles/st_workloads.dir/workloads/vacation.cpp.o"
+  "CMakeFiles/st_workloads.dir/workloads/vacation.cpp.o.d"
+  "libst_workloads.a"
+  "libst_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisory_locks_test.cpp" "tests/CMakeFiles/st_tests.dir/advisory_locks_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/advisory_locks_test.cpp.o.d"
+  "/root/repo/tests/anchor_table_test.cpp" "tests/CMakeFiles/st_tests.dir/anchor_table_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/anchor_table_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/st_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/callgraph_test.cpp" "tests/CMakeFiles/st_tests.dir/callgraph_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/callgraph_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/st_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/cpc_map_test.cpp" "tests/CMakeFiles/st_tests.dir/cpc_map_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/cpc_map_test.cpp.o.d"
+  "/root/repo/tests/domtree_test.cpp" "tests/CMakeFiles/st_tests.dir/domtree_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/domtree_test.cpp.o.d"
+  "/root/repo/tests/dsa_test.cpp" "tests/CMakeFiles/st_tests.dir/dsa_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/dsa_test.cpp.o.d"
+  "/root/repo/tests/dslib_test.cpp" "tests/CMakeFiles/st_tests.dir/dslib_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/dslib_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/st_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/st_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/heap_test.cpp" "tests/CMakeFiles/st_tests.dir/heap_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/heap_test.cpp.o.d"
+  "/root/repo/tests/htm_test.cpp" "tests/CMakeFiles/st_tests.dir/htm_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/htm_test.cpp.o.d"
+  "/root/repo/tests/instrument_test.cpp" "tests/CMakeFiles/st_tests.dir/instrument_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/instrument_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/st_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/st_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/st_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/lazy_htm_test.cpp" "tests/CMakeFiles/st_tests.dir/lazy_htm_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/lazy_htm_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/st_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/memory_system_test.cpp" "tests/CMakeFiles/st_tests.dir/memory_system_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/memory_system_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/st_tests.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/policy_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/st_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/verifier_edge_test.cpp" "tests/CMakeFiles/st_tests.dir/verifier_edge_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/verifier_edge_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/st_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/st_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/st_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_stagger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagtm.dir/stagtm.cpp.o"
+  "CMakeFiles/stagtm.dir/stagtm.cpp.o.d"
+  "stagtm"
+  "stagtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,27 +12,43 @@ int main() {
   print_header("Ablation A4: staggering under eager vs lazy HTM");
   const unsigned threads = env_threads();
 
+  const char* wls[] = {"list-hi", "kmeans", "memcached", "tsp", "ssca2"};
+
+  Sweep sweep("ablation_lazy");
+  struct WlIds {
+    std::size_t base[2], stag[2];  // indexed by lazy flag
+  };
+  std::vector<WlIds> ids;
+  for (const char* name : wls) {
+    WlIds w;
+    for (int lazy = 0; lazy <= 1; ++lazy) {
+      auto ob = base_options(runtime::Scheme::kBaseline, threads);
+      ob.lazy_htm = lazy != 0;
+      w.base[lazy] = sweep.add(name, ob);
+      auto os = base_options(runtime::Scheme::kStaggered, threads);
+      os.lazy_htm = lazy != 0;
+      w.stag[lazy] = sweep.add(name, os);
+    }
+    ids.push_back(w);
+  }
+
   std::printf("%-10s | eager: %6s %6s %8s | lazy: %6s %6s %8s\n",
               "benchmark", "A/C", "A/C-S", "Stag/HTM", "A/C", "A/C-S",
               "Stag/HTM");
   std::printf(
       "-----------+-------------------------------+-----------------------------\n");
 
-  for (const char* name : {"list-hi", "kmeans", "memcached", "tsp", "ssca2"}) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
     double abts[2], sabts[2], rel[2];
     for (int lazy = 0; lazy <= 1; ++lazy) {
-      auto ob = base_options(runtime::Scheme::kBaseline, threads);
-      ob.lazy_htm = lazy != 0;
-      const auto base = workloads::run_workload(name, ob);
-      auto os = base_options(runtime::Scheme::kStaggered, threads);
-      os.lazy_htm = lazy != 0;
-      const auto stag = workloads::run_workload(name, os);
+      const auto& base = sweep.get(ids[i].base[lazy]);
+      const auto& stag = sweep.get(ids[i].stag[lazy]);
       abts[lazy] = base.aborts_per_commit();
       sabts[lazy] = stag.aborts_per_commit();
       rel[lazy] = stag.throughput() / base.throughput();
     }
     std::printf("%-10s |       %6.2f %6.2f %8.3f |      %6.2f %6.2f %8.3f\n",
-                name, abts[0], sabts[0], rel[0], abts[1], sabts[1], rel[1]);
+                wls[i], abts[0], sabts[0], rel[0], abts[1], sabts[1], rel[1]);
     std::fflush(stdout);
   }
   std::printf(

@@ -10,31 +10,55 @@ int main() {
   print_header("Ablation A3: advisory-lock table size and acquire timeout");
   const unsigned threads = env_threads();
 
-  for (const char* wl : {"list-hi", "kmeans"}) {
+  const char* wls[] = {"list-hi", "kmeans"};
+  const unsigned sizes[] = {1u, 4u, 16u, 64u, 256u, 1024u};
+  const sim::Cycle timeouts[] = {250u, 500u, 1000u, 2000u, 8000u, 1000000u};
+
+  Sweep sweep("ablation_locks");
+  struct WlIds {
+    std::size_t base;
+    std::size_t size[std::size(sizes)];
+    std::size_t timeout[std::size(timeouts)];
+  };
+  std::vector<WlIds> ids;
+  for (const char* wl : wls) {
+    WlIds w;
+    w.base = sweep.add(wl, base_options(runtime::Scheme::kBaseline, threads));
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+      auto o = base_options(runtime::Scheme::kStaggered, threads);
+      o.num_advisory_locks = sizes[i];
+      w.size[i] = sweep.add(wl, o);
+    }
+    for (std::size_t i = 0; i < std::size(timeouts); ++i) {
+      auto o = base_options(runtime::Scheme::kStaggered, threads);
+      o.lock_timeout = timeouts[i];
+      w.timeout[i] = sweep.add(wl, o);
+    }
+    ids.push_back(w);
+  }
+
+  for (std::size_t w = 0; w < ids.size(); ++w) {
     std::printf("\n--- %s (%u threads), Staggered normalized to HTM ---\n",
-                wl, threads);
-    const auto base = workloads::run_workload(
-        wl, base_options(runtime::Scheme::kBaseline, threads));
-    auto rel = [&](const workloads::RunOptions& o) {
-      return workloads::run_workload(wl, o).throughput() / base.throughput();
+                wls[w], threads);
+    const auto& base = sweep.get(ids[w].base);
+    auto rel = [&](std::size_t id) {
+      return sweep.get(id).throughput() / base.throughput();
     };
 
     std::printf("lock-table size sweep (timeout=2000):\n");
-    for (unsigned n : {1u, 4u, 16u, 64u, 256u, 1024u}) {
-      auto o = base_options(runtime::Scheme::kStaggered, threads);
-      o.num_advisory_locks = n;
-      std::printf("  locks=%-5u: %.3f%s\n", n, rel(o),
-                  n == 1 ? "  (single global advisory lock)" : "");
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+      std::printf("  locks=%-5u: %.3f%s\n", sizes[i], rel(ids[w].size[i]),
+                  sizes[i] == 1 ? "  (single global advisory lock)" : "");
       std::fflush(stdout);
     }
 
     std::printf("acquire-timeout sweep (256 locks):\n");
-    for (sim::Cycle t : {250u, 500u, 1000u, 2000u, 8000u, 1000000u}) {
-      auto o = base_options(runtime::Scheme::kStaggered, threads);
-      o.lock_timeout = t;
+    for (std::size_t i = 0; i < std::size(timeouts); ++i) {
       std::printf("  timeout=%-8llu: %.3f%s\n",
-                  static_cast<unsigned long long>(t), rel(o),
-                  t == 1000000u ? "  (effectively wait-forever)" : "");
+                  static_cast<unsigned long long>(timeouts[i]),
+                  rel(ids[w].timeout[i]),
+                  timeouts[i] == 1000000u ? "  (effectively wait-forever)"
+                                          : "");
       std::fflush(stdout);
     }
   }

@@ -11,16 +11,34 @@ int main() {
   print_header("Ablation A2: hardware PC-tag width vs anchor accuracy");
   const unsigned threads = env_threads();
 
-  for (const char* wl : {"list-hi", "memcached", "genome"}) {
-    std::printf("\n--- %s (%u threads) ---\n", wl, threads);
-    const auto base = workloads::run_workload(
-        wl, base_options(runtime::Scheme::kBaseline, threads));
+  const char* wls[] = {"list-hi", "memcached", "genome"};
+  const unsigned widths[] = {4u, 6u, 8u, 10u, 12u, 16u};
+
+  Sweep sweep("ablation_pctag");
+  struct WlIds {
+    std::size_t base;
+    std::size_t bits[std::size(widths)];
+  };
+  std::vector<WlIds> ids;
+  for (const char* wl : wls) {
+    WlIds w;
+    w.base = sweep.add(wl, base_options(runtime::Scheme::kBaseline, threads));
+    for (std::size_t i = 0; i < std::size(widths); ++i) {
+      auto o = base_options(runtime::Scheme::kStaggered, threads);
+      o.pc_tag_bits = widths[i];
+      w.bits[i] = sweep.add(wl, o);
+    }
+    ids.push_back(w);
+  }
+
+  for (std::size_t w = 0; w < ids.size(); ++w) {
+    std::printf("\n--- %s (%u threads) ---\n", wls[w], threads);
+    const auto& base = sweep.get(ids[w].base);
     std::printf("%6s | %9s | %9s | l1-overhead\n", "bits", "accuracy",
                 "perf/HTM");
-    for (unsigned bits : {4u, 6u, 8u, 10u, 12u, 16u}) {
-      auto o = base_options(runtime::Scheme::kStaggered, threads);
-      o.pc_tag_bits = bits;
-      const auto r = workloads::run_workload(wl, o);
+    for (std::size_t i = 0; i < std::size(widths); ++i) {
+      const unsigned bits = widths[i];
+      const auto& r = sweep.get(ids[w].bits[i]);
       // Space overhead: `bits` extra bits per 64-byte (512-bit) L1 line,
       // on top of the 2 transactional bits.
       const double overhead = 100.0 * bits / 512.0;

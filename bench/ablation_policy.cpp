@@ -10,40 +10,63 @@ using namespace st::bench;
 
 namespace {
 
-void sweep(const char* wl, unsigned threads) {
+constexpr unsigned kThrs[] = {1u, 2u, 3u, 4u, 6u};
+constexpr unsigned kProms[] = {1u, 2u, 4u, 8u, 1000000u};
+constexpr unsigned kHists[] = {4u, 8u, 16u, 32u};
+
+struct WlIds {
+  std::size_t base;
+  std::size_t thr[std::size(kThrs)];
+  std::size_t prom[std::size(kProms)];
+  std::size_t hist[std::size(kHists)];
+};
+
+WlIds submit(Sweep& sweep, const char* wl, unsigned threads) {
+  WlIds ids;
+  ids.base = sweep.add(wl, base_options(runtime::Scheme::kBaseline, threads));
+  for (std::size_t i = 0; i < std::size(kThrs); ++i) {
+    auto o = base_options(runtime::Scheme::kStaggered, threads);
+    o.policy.pc_thr = kThrs[i];
+    o.policy.addr_thr = kThrs[i];
+    ids.thr[i] = sweep.add(wl, o);
+  }
+  for (std::size_t i = 0; i < std::size(kProms); ++i) {
+    auto o = base_options(runtime::Scheme::kStaggered, threads);
+    o.policy.prom_thr = kProms[i];
+    ids.prom[i] = sweep.add(wl, o);
+  }
+  for (std::size_t i = 0; i < std::size(kHists); ++i) {
+    auto o = base_options(runtime::Scheme::kStaggered, threads);
+    o.history_len = kHists[i];
+    ids.hist[i] = sweep.add(wl, o);
+  }
+  return ids;
+}
+
+void print(Sweep& sweep, const char* wl, unsigned threads, const WlIds& ids) {
   std::printf("\n--- %s (%u threads), Staggered, normalized to baseline "
               "HTM ---\n", wl, threads);
-  const auto base =
-      workloads::run_workload(wl, base_options(runtime::Scheme::kBaseline,
-                                               threads));
-  auto rel = [&](const workloads::RunOptions& o) {
-    const auto r = workloads::run_workload(wl, o);
-    return r.throughput() / base.throughput();
+  const auto& base = sweep.get(ids.base);
+  auto rel = [&](std::size_t id) {
+    return sweep.get(id).throughput() / base.throughput();
   };
 
   std::printf("PC_THR/ADDR_THR sweep (history=8, PROM_THR=4):\n");
-  for (unsigned thr : {1u, 2u, 3u, 4u, 6u}) {
-    auto o = base_options(runtime::Scheme::kStaggered, threads);
-    o.policy.pc_thr = thr;
-    o.policy.addr_thr = thr;
-    std::printf("  thr=%u: %.3f\n", thr, rel(o));
+  for (std::size_t i = 0; i < std::size(kThrs); ++i) {
+    std::printf("  thr=%u: %.3f\n", kThrs[i], rel(ids.thr[i]));
     std::fflush(stdout);
   }
 
   std::printf("PROM_THR sweep (promotion after N coarse aborts):\n");
-  for (unsigned prom : {1u, 2u, 4u, 8u, 1000000u}) {
-    auto o = base_options(runtime::Scheme::kStaggered, threads);
-    o.policy.prom_thr = prom;
-    std::printf("  prom=%-7u: %.3f%s\n", prom, rel(o),
-                prom == 1000000u ? "  (promotion disabled)" : "");
+  for (std::size_t i = 0; i < std::size(kProms); ++i) {
+    std::printf("  prom=%-7u: %.3f%s\n", kProms[i], rel(ids.prom[i]),
+                kProms[i] == 1000000u ? "  (promotion disabled)" : "");
     std::fflush(stdout);
   }
 
   std::printf("abort-history length sweep (paper uses 8):\n");
-  for (unsigned h : {4u, 8u, 16u, 32u}) {
-    auto o = base_options(runtime::Scheme::kStaggered, threads);
-    o.history_len = h;
-    std::printf("  history=%-2u: %.3f\n", h, rel(o));
+  for (std::size_t i = 0; i < std::size(kHists); ++i) {
+    std::printf("  history=%-2u: %.3f\n", kHists[i], rel(ids.hist[i]));
     std::fflush(stdout);
   }
 }
@@ -52,7 +75,11 @@ void sweep(const char* wl, unsigned threads) {
 
 int main() {
   print_header("Ablation A1: locking-policy parameters");
-  sweep("list-hi", env_threads());
-  sweep("genome", env_threads());
+  const unsigned threads = env_threads();
+  Sweep sweep("ablation_policy");
+  const WlIds hi = submit(sweep, "list-hi", threads);
+  const WlIds lo = submit(sweep, "genome", threads);
+  print(sweep, "list-hi", threads, hi);
+  print(sweep, "genome", threads, lo);
   return 0;
 }

@@ -12,22 +12,36 @@ int main() {
   print_header("Ablation A7: proactive whole-txn scheduling vs staggering");
   const unsigned threads = env_threads();
 
+  const char* wls[] = {"list-hi", "list-lo",   "kmeans",
+                       "memcached", "intruder", "ssca2"};
+
+  Sweep sweep("ablation_txsched");
+  struct WlIds {
+    std::size_t base, sched, stag;
+  };
+  std::vector<WlIds> ids;
+  for (const char* name : wls) {
+    WlIds w;
+    w.base = sweep.add(name, base_options(runtime::Scheme::kBaseline, threads));
+    w.sched =
+        sweep.add(name, base_options(runtime::Scheme::kTxSched, threads));
+    w.stag =
+        sweep.add(name, base_options(runtime::Scheme::kStaggered, threads));
+    ids.push_back(w);
+  }
+
   std::printf("%-10s | %9s %9s %9s | %8s %8s\n", "benchmark", "TxSched",
               "Staggered", "edge", "A/C-TS", "A/C-St");
   std::printf(
       "-----------+-------------------------------+------------------\n");
 
-  for (const char* name :
-       {"list-hi", "list-lo", "kmeans", "memcached", "intruder", "ssca2"}) {
-    const auto base = workloads::run_workload(
-        name, base_options(runtime::Scheme::kBaseline, threads));
-    const auto sched = workloads::run_workload(
-        name, base_options(runtime::Scheme::kTxSched, threads));
-    const auto stag = workloads::run_workload(
-        name, base_options(runtime::Scheme::kStaggered, threads));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& base = sweep.get(ids[i].base);
+    const auto& sched = sweep.get(ids[i].sched);
+    const auto& stag = sweep.get(ids[i].stag);
     const double rs = sched.throughput() / base.throughput();
     const double rt = stag.throughput() / base.throughput();
-    std::printf("%-10s | %9.3f %9.3f %8.2fx | %8.2f %8.2f\n", name, rs, rt,
+    std::printf("%-10s | %9.3f %9.3f %8.2fx | %8.2f %8.2f\n", wls[i], rs, rt,
                 rt / rs, sched.aborts_per_commit(), stag.aborts_per_commit());
     std::fflush(stdout);
   }

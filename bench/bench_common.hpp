@@ -2,33 +2,75 @@
 //
 // Every binary prints (a) the simulated-machine configuration (paper
 // Table 2), (b) its own measured rows, and (c) the paper's reported values
-// for side-by-side comparison. Environment knobs:
+// for side-by-side comparison. All binaries submit their full sweep up
+// front to an ExperimentRunner and print rows in submission order as the
+// results complete, so a multi-core host runs the independent simulations
+// concurrently while the printed output stays bit-identical to a serial
+// run. Environment knobs (all strictly validated — a typo aborts with a
+// message instead of silently running the wrong experiment):
 //   STAGTM_SCALE   — ops multiplier (default 0.25; 1.0 = full length)
-//   STAGTM_THREADS — worker count (default 16, as in the paper)
+//   STAGTM_THREADS — simulated worker count (default 16, as in the paper)
 //   STAGTM_SEED    — RNG seed (default 1)
+//   STAGTM_JOBS    — host worker threads (default: hardware concurrency)
+//   STAGTM_JSON    — if set, write machine-readable results to this path
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "workloads/harness.hpp"
+#include "workloads/runner.hpp"
 
 namespace st::bench {
 
+[[noreturn]] inline void env_fail(const char* name, const char* value,
+                                  const char* expected) {
+  std::fprintf(stderr, "%s must be %s, got \"%s\"\n", name, expected, value);
+  std::exit(2);
+}
+
+inline double env_positive_double(const char* name, double dflt) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v > 0))
+    env_fail(name, s, "a positive number");
+  return v;
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t dflt,
+                             std::uint64_t lo, std::uint64_t hi,
+                             const char* expected) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return dflt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || *s == '-' || v < lo || v > hi)
+    env_fail(name, s, expected);
+  return v;
+}
+
 inline double env_scale() {
-  const char* s = std::getenv("STAGTM_SCALE");
-  return s ? std::atof(s) : 0.25;
+  return env_positive_double("STAGTM_SCALE", 0.25);
 }
 
 inline unsigned env_threads() {
-  const char* s = std::getenv("STAGTM_THREADS");
-  return s ? static_cast<unsigned>(std::atoi(s)) : 16;
+  return static_cast<unsigned>(env_u64("STAGTM_THREADS", 16, 1, 32,
+                                       "an integer in [1,32]"));
 }
 
 inline std::uint64_t env_seed() {
-  const char* s = std::getenv("STAGTM_SEED");
-  return s ? static_cast<std::uint64_t>(std::atoll(s)) : 1;
+  return env_u64("STAGTM_SEED", 1, 0, ~std::uint64_t{0},
+                 "a non-negative integer");
+}
+
+inline unsigned env_jobs() {
+  // Validated (and defaulted) by the runner so library users get the same
+  // strictness as the bench binaries.
+  return workloads::ExperimentRunner::default_jobs();
 }
 
 inline workloads::RunOptions base_options(runtime::Scheme scheme,
@@ -52,9 +94,12 @@ inline void print_header(const char* what) {
   std::printf("==============================================================\n");
   std::printf("%s\n", what);
   print_machine_config();
-  std::printf("threads=%u scale=%.2f seed=%llu\n", env_threads(), env_scale(),
-              static_cast<unsigned long long>(env_seed()));
+  std::printf("threads=%u scale=%.2f seed=%llu\n", env_threads(),
+              env_scale(), static_cast<unsigned long long>(env_seed()));
   std::printf("==============================================================\n");
+  // stderr, not stdout: the job count changes wall time but never results,
+  // and stdout must be byte-identical across STAGTM_JOBS settings.
+  std::fprintf(stderr, "[%u host jobs]\n", env_jobs());
 }
 
 /// speedup of `r` relative to a single-thread run `base1` (throughput
@@ -64,5 +109,103 @@ inline double speedup(const workloads::RunResult& base1,
   return base1.throughput() == 0 ? 0.0
                                  : r.throughput() / base1.throughput();
 }
+
+/// One bench binary's sweep: jobs are submitted up front, results are
+/// consumed in submission order, and (when STAGTM_JSON is set) every
+/// completed run plus wall-clock/speedup-vs-serial metadata is written as
+/// JSON when the Sweep goes out of scope.
+class Sweep {
+ public:
+  explicit Sweep(const char* bench_name)
+      : name_(bench_name),
+        start_(std::chrono::steady_clock::now()),
+        runner_(env_jobs()) {}
+
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  ~Sweep() { write_json(); }
+
+  std::size_t add(const std::string& workload,
+                  const workloads::RunOptions& o) {
+    return runner_.submit(workload, o);
+  }
+
+  /// Blocks until job `id` is done (results for earlier submissions may
+  /// still be in flight — consume in order for as-they-complete printing).
+  const workloads::RunResult& get(std::size_t id) { return runner_.wait(id); }
+
+  unsigned jobs() const { return runner_.jobs(); }
+
+ private:
+  static void json_escape(std::FILE* f, const std::string& s) {
+    for (char c : s)
+      if (c == '"' || c == '\\')
+        std::fprintf(f, "\\%c", c);
+      else
+        std::fputc(c, f);
+  }
+
+  void write_json() {
+    const char* path = std::getenv("STAGTM_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "STAGTM_JSON: cannot open \"%s\" for writing\n",
+                   path);
+      return;
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    double serial_ms = 0;
+    std::fprintf(f, "{\n  \"bench\": \"");
+    json_escape(f, name_);
+    std::fprintf(f,
+                 "\",\n  \"jobs\": %u,\n  \"threads\": %u,\n"
+                 "  \"scale\": %.17g,\n  \"seed\": %llu,\n  \"runs\": [",
+                 jobs(), env_threads(), env_scale(),
+                 static_cast<unsigned long long>(env_seed()));
+    const std::size_t n = runner_.submitted();
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const workloads::RunResult* r = nullptr;
+      try {
+        r = &runner_.wait(i);
+      } catch (...) {
+        continue;  // failed jobs carry no result
+      }
+      serial_ms += r->wall_ms;
+      std::fprintf(f, "%s\n    {\"workload\": \"", first ? "" : ",");
+      first = false;
+      json_escape(f, r->workload);
+      std::fprintf(f, "\", \"scheme\": \"");
+      json_escape(f, r->scheme);
+      std::fprintf(
+          f,
+          "\", \"threads\": %u, \"cycles\": %llu, \"total_ops\": %llu, "
+          "\"throughput\": %.17g, \"commits\": %llu, \"aborts\": %llu, "
+          "\"aborts_per_commit\": %.17g, \"wall_ms\": %.3f}",
+          r->threads, static_cast<unsigned long long>(r->cycles),
+          static_cast<unsigned long long>(r->total_ops), r->throughput(),
+          static_cast<unsigned long long>(r->totals.commits),
+          static_cast<unsigned long long>(r->totals.total_aborts()),
+          r->aborts_per_commit(), r->wall_ms);
+    }
+    // serial_wall_ms sums each run's host time: what the sweep would have
+    // cost on one worker. The ratio tracks the runner's speedup per PR.
+    std::fprintf(f,
+                 "\n  ],\n  \"wall_ms\": %.3f,\n  \"serial_wall_ms\": %.3f,\n"
+                 "  \"speedup_vs_serial\": %.3f\n}\n",
+                 wall_ms, serial_ms, wall_ms > 0 ? serial_ms / wall_ms : 0.0);
+    std::fclose(f);
+    std::printf("[json results written to %s]\n", path);
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  workloads::ExperimentRunner runner_;
+};
 
 }  // namespace st::bench

@@ -25,24 +25,42 @@ int main() {
       {"tsp", 1.05, 1.30, 1.40},      {"memcached", 1.05, 1.30, 1.45},
   };
 
+  // Submit the whole 10x4 sweep up front; rows print as results complete.
+  Sweep sweep("fig7_performance");
+  struct RowIds {
+    std::size_t base, ao, sw, stag;
+  };
+  std::vector<RowIds> ids;
+  for (const PaperRow& row : paper) {
+    RowIds r;
+    r.base = sweep.add(row.name,
+                       base_options(runtime::Scheme::kBaseline, threads));
+    r.ao = sweep.add(row.name,
+                     base_options(runtime::Scheme::kAddrOnly, threads));
+    r.sw = sweep.add(row.name,
+                     base_options(runtime::Scheme::kStaggeredSW, threads));
+    r.stag = sweep.add(row.name,
+                       base_options(runtime::Scheme::kStaggered, threads));
+    ids.push_back(r);
+  }
+
   std::printf("%-10s | %8s %8s %8s %8s | paper: %5s %5s %5s\n", "benchmark",
               "HTM", "AddrOnly", "Stag+SW", "Stag", "AOnly", "St+SW", "Stag");
   std::printf("-----------+-------------------------------------+---------------------\n");
 
   double geo_sum_inv = 0;  // for harmonic mean of Staggered improvement
   unsigned n = 0;
-  for (const PaperRow& row : paper) {
-    const auto base = workloads::run_workload(
-        row.name, base_options(runtime::Scheme::kBaseline, threads));
-    auto rel = [&](runtime::Scheme s) {
-      const auto r =
-          workloads::run_workload(row.name, base_options(s, threads));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const PaperRow& row = paper[i];
+    const auto& base = sweep.get(ids[i].base);
+    auto rel = [&](std::size_t id) {
+      const auto& r = sweep.get(id);
       return base.throughput() == 0 ? 0.0
                                     : r.throughput() / base.throughput();
     };
-    const double ao = rel(runtime::Scheme::kAddrOnly);
-    const double sw = rel(runtime::Scheme::kStaggeredSW);
-    const double stg = rel(runtime::Scheme::kStaggered);
+    const double ao = rel(ids[i].ao);
+    const double sw = rel(ids[i].sw);
+    const double stg = rel(ids[i].stag);
     std::printf("%-10s | %8.3f %8.3f %8.3f %8.3f | paper: %5.2f %5.2f %5.2f\n",
                 row.name, 1.0, ao, sw, stg, row.addr_only, row.stag_sw,
                 row.stag);

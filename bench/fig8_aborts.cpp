@@ -14,6 +14,21 @@ int main() {
                          "ssca2", "vacation", "list-lo", "list-hi",
                          "tsp", "memcached"};
 
+  // Runs are deterministic, so the energy section at the bottom reuses the
+  // same results rather than re-running each pair.
+  Sweep sweep("fig8_aborts");
+  struct RowIds {
+    std::size_t base, stag;
+  };
+  std::vector<RowIds> ids;
+  const unsigned threads = env_threads();
+  for (const char* name : names) {
+    RowIds r;
+    r.base = sweep.add(name, base_options(runtime::Scheme::kBaseline, threads));
+    r.stag = sweep.add(name, base_options(runtime::Scheme::kStaggered, threads));
+    ids.push_back(r);
+  }
+
   std::printf("%-10s | %9s %9s %7s | %8s %8s %7s\n", "benchmark",
               "Abts/C", "Abts/C", "abort", "W/U", "W/U", "waste");
   std::printf("%-10s | %9s %9s %7s | %8s %8s %7s\n", "",
@@ -21,14 +36,12 @@ int main() {
   std::printf(
       "-----------+-----------------------------+--------------------------\n");
 
-  const unsigned threads = env_threads();
   double abort_cut_sum = 0, waste_cut_sum = 0;
   unsigned n = 0;
-  for (const char* name : names) {
-    const auto base = workloads::run_workload(
-        name, base_options(runtime::Scheme::kBaseline, threads));
-    const auto stag = workloads::run_workload(
-        name, base_options(runtime::Scheme::kStaggered, threads));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const char* name = names[i];
+    const auto& base = sweep.get(ids[i].base);
+    const auto& stag = sweep.get(ids[i].stag);
     const double cut =
         base.aborts_per_commit() == 0
             ? 0
@@ -62,14 +75,12 @@ int main() {
   // a significant reduction in energy as well" — estimate it, charging
   // spin-waiting at 30% and backoff idling at 20% of active power.
   std::printf("\nenergy estimate per committed txn (Staggered / HTM):\n");
-  for (const char* name : names) {
-    const auto base = workloads::run_workload(
-        name, base_options(runtime::Scheme::kBaseline, threads));
-    const auto stag = workloads::run_workload(
-        name, base_options(runtime::Scheme::kStaggered, threads));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& base = sweep.get(ids[i].base);
+    const auto& stag = sweep.get(ids[i].stag);
     const double rel = (stag.energy_estimate() / stag.totals.commits) /
                        (base.energy_estimate() / base.totals.commits);
-    std::printf("  %-10s %.2f\n", name, rel);
+    std::printf("  %-10s %.2f\n", names[i], rel);
     std::fflush(stdout);
   }
   return 0;

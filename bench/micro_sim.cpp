@@ -3,10 +3,12 @@
 // performance regressions in the substrate itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "htm/htm.hpp"
 #include "interp/interp.hpp"
 #include "ir/builder.hpp"
 #include "stagger/advisory_locks.hpp"
+#include "workloads/runner.hpp"
 
 namespace {
 
@@ -129,6 +131,22 @@ void BM_InterpreterArithLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * 4);
 }
 BENCHMARK(BM_InterpreterArithLoop);
+
+// End-to-end smoke of the parallel experiment runner: two tiny full-system
+// runs per iteration, scheduled through the pool. Registered as a ctest
+// (bench_micro_smoke) at STAGTM_SCALE=0.05 STAGTM_JOBS=2 so CI exercises
+// the pooled path on every run.
+void BM_ParallelRunnerSmoke(benchmark::State& state) {
+  using namespace st::bench;
+  for (auto _ : state) {
+    workloads::ExperimentRunner pool(env_jobs());
+    pool.submit("ssca2", base_options(runtime::Scheme::kBaseline, 2));
+    pool.submit("ssca2", base_options(runtime::Scheme::kStaggered, 2));
+    for (const auto& r : pool.wait_all())
+      benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_ParallelRunnerSmoke)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

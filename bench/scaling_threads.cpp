@@ -10,20 +10,37 @@ int main() {
   print_header("Thread scaling: speedup over sequential, per scheme");
 
   const unsigned counts[] = {1, 2, 4, 8, 16};
-  for (const char* name : {"list-hi", "list-lo", "kmeans", "memcached",
-                           "ssca2"}) {
-    std::printf("\n--- %s ---\n", name);
-    const auto seq = workloads::run_workload(
-        name, base_options(runtime::Scheme::kBaseline, 1));
+  const char* names[] = {"list-hi", "list-lo", "kmeans", "memcached",
+                         "ssca2"};
+  const runtime::Scheme schemes[] = {runtime::Scheme::kBaseline,
+                                     runtime::Scheme::kStaggered};
+
+  // Full (workload x scheme x count) sweep submitted up front.
+  Sweep sweep("scaling_threads");
+  struct WlIds {
+    std::size_t seq;
+    std::size_t runs[2][5];
+  };
+  std::vector<WlIds> ids;
+  for (const char* name : names) {
+    WlIds w;
+    w.seq = sweep.add(name, base_options(runtime::Scheme::kBaseline, 1));
+    for (std::size_t s = 0; s < 2; ++s)
+      for (std::size_t t = 0; t < 5; ++t)
+        w.runs[s][t] = sweep.add(name, base_options(schemes[s], counts[t]));
+    ids.push_back(w);
+  }
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::printf("\n--- %s ---\n", names[i]);
+    const auto& seq = sweep.get(ids[i].seq);
     std::printf("%9s", "threads:");
     for (unsigned t : counts) std::printf(" %6u", t);
     std::printf("\n");
-    for (const auto scheme :
-         {runtime::Scheme::kBaseline, runtime::Scheme::kStaggered}) {
-      std::printf("%9s", runtime::scheme_name(scheme));
-      for (unsigned t : counts) {
-        const auto r =
-            workloads::run_workload(name, base_options(scheme, t));
+    for (std::size_t s = 0; s < 2; ++s) {
+      std::printf("%9s", runtime::scheme_name(schemes[s]));
+      for (std::size_t t = 0; t < 5; ++t) {
+        const auto& r = sweep.get(ids[i].runs[s][t]);
         std::printf(" %6.2f", speedup(seq, r));
         std::fflush(stdout);
       }

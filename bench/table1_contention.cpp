@@ -31,17 +31,29 @@ int main() {
       {"vacation", 9.7, 1, 0.34, "N", "Y", "red-black trees"},
   };
 
+  const unsigned threads = env_threads();
+  Sweep sweep("table1_contention");
+  struct RowIds {
+    std::size_t seq, par;
+  };
+  std::vector<RowIds> ids;
+  for (const PaperRow& row : paper) {
+    RowIds r;
+    r.seq = sweep.add(row.name, base_options(runtime::Scheme::kBaseline, 1));
+    r.par = sweep.add(row.name,
+                      base_options(runtime::Scheme::kBaseline, threads));
+    ids.push_back(r);
+  }
+
   std::printf("%-10s | %5s %5s %6s %5s %5s | paper: %5s %4s %6s %3s %3s\n",
               "benchmark", "S", "%I", "W/U", "LA", "LP", "S", "%I", "W/U",
               "LA", "LP");
   std::printf(
       "-----------+----------------------------------+--------------------------\n");
-  const unsigned threads = env_threads();
-  for (const PaperRow& row : paper) {
-    const auto seq = workloads::run_workload(
-        row.name, base_options(runtime::Scheme::kBaseline, 1));
-    const auto par = workloads::run_workload(
-        row.name, base_options(runtime::Scheme::kBaseline, threads));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const PaperRow& row = paper[i];
+    const auto& seq = sweep.get(ids[i].seq);
+    const auto& par = sweep.get(ids[i].par);
     // LA/LP classify as the paper does: "Y" when a single address (PC)
     // explains the majority of contention aborts.
     const char* la = par.conflict_addr_locality > 0.4 ? "Y" : "N";

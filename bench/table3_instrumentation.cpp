@@ -43,6 +43,28 @@ int main() {
       {"memcached", 405, 54, 2520, 80.9, "<1%", 98.3},
   };
 
+  const unsigned threads = env_threads();
+  Sweep sweep("table3_instrumentation");
+  struct RowIds {
+    std::size_t base, inst, naive, acc;
+  };
+  std::vector<RowIds> ids;
+  for (const PaperRow& row : paper) {
+    RowIds r;
+    // 1-thread runs: uninstrumented baseline vs anchor-instrumented vs
+    // naive everything-instrumented.
+    r.base = sweep.add(row.name, base_options(runtime::Scheme::kBaseline, 1));
+    r.inst = sweep.add(row.name, base_options(runtime::Scheme::kStaggered, 1));
+    auto n1 = base_options(runtime::Scheme::kStaggered, 1);
+    // Naive comparison (§6.1): instrument every load and store.
+    n1.instrument_override = stagger::InstrumentMode::kAll;
+    r.naive = sweep.add(row.name, n1);
+    // 16-thread staggered run for accuracy (needs real contention aborts).
+    r.acc = sweep.add(row.name,
+                      base_options(runtime::Scheme::kStaggered, threads));
+    ids.push_back(r);
+  }
+
   std::printf(
       "%-10s | static ld/st anchs | dyn u-ops anchs/txn | t-inc naive | "
       "accuracy | paper(ld/st anchs uops a/txn inc acc)\n",
@@ -50,22 +72,12 @@ int main() {
   std::printf(
       "-----------+--------------------+---------------------+-------------+---------+\n");
 
-  const unsigned threads = env_threads();
-  for (const PaperRow& row : paper) {
-    // 1-thread runs: uninstrumented baseline vs anchor-instrumented vs
-    // naive everything-instrumented.
-    auto b1 = base_options(runtime::Scheme::kBaseline, 1);
-    const auto base = workloads::run_workload(row.name, b1);
-    auto s1 = base_options(runtime::Scheme::kStaggered, 1);
-    const auto inst = workloads::run_workload(row.name, s1);
-    // Naive comparison (§6.1): instrument every load and store.
-    auto n1 = base_options(runtime::Scheme::kStaggered, 1);
-    n1.instrument_override = stagger::InstrumentMode::kAll;
-    const auto naive = workloads::run_workload(row.name, n1);
-
-    // 16-thread staggered run for accuracy (needs real contention aborts).
-    auto s16 = base_options(runtime::Scheme::kStaggered, threads);
-    const auto acc_run = workloads::run_workload(row.name, s16);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const PaperRow& row = paper[i];
+    const auto& base = sweep.get(ids[i].base);
+    const auto& inst = sweep.get(ids[i].inst);
+    const auto& naive = sweep.get(ids[i].naive);
+    const auto& acc_run = sweep.get(ids[i].acc);
 
     std::printf(
         "%-10s | %6u %11u | %9.0f %9.1f | %4.1f%% %5.1f%% | %6.1f%% | "

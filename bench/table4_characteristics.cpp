@@ -32,17 +32,29 @@ int main() {
       {"memcached", 17, 85, 2.6, 4.77, "high"},
   };
 
+  const unsigned threads = env_threads();
+  Sweep sweep("table4_characteristics");
+  struct RowIds {
+    std::size_t seq, par;
+  };
+  std::vector<RowIds> ids;
+  for (const PaperRow& row : paper) {
+    RowIds r;
+    r.seq = sweep.add(row.name, base_options(runtime::Scheme::kBaseline, 1));
+    r.par = sweep.add(row.name,
+                      base_options(runtime::Scheme::kBaseline, threads));
+    ids.push_back(r);
+  }
+
   std::printf("%-10s | %4s %5s %5s %7s %6s | paper: %3s %4s %5s %6s %s\n",
               "benchmark", "ABs", "%TM", "S", "Abts/C", "cont", "ABs", "%TM",
               "S", "Abts/C", "cont");
   std::printf(
       "-----------+------------------------------------+----------------------------\n");
-  const unsigned threads = env_threads();
-  for (const PaperRow& row : paper) {
-    const auto seq = workloads::run_workload(
-        row.name, base_options(runtime::Scheme::kBaseline, 1));
-    const auto par = workloads::run_workload(
-        row.name, base_options(runtime::Scheme::kBaseline, threads));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const PaperRow& row = paper[i];
+    const auto& seq = sweep.get(ids[i].seq);
+    const auto& par = sweep.get(ids[i].par);
     auto wl = workloads::make_workload(row.name);
     std::printf(
         "%-10s | %4u %4.0f%% %5.1f %7.2f %6s | paper: %3u %3d%% %5.1f %6.2f "

@@ -80,7 +80,8 @@ bool HtmSystem::commit(CoreId c, Cycle* publish_latency) {
     // Commit-time conflict detection: acquire ownership of every written
     // line, aborting transactions that touched them (committer wins).
     Cycle lat = 0;
-    for (Addr line : mem_.speculative_written_lines(c))
+    mem_.speculative_written_lines(c, publish_scratch_);
+    for (Addr line : publish_scratch_)
       lat += mem_.publish_line(c, line);
     if (publish_latency != nullptr) *publish_latency = lat;
   }
@@ -95,8 +96,18 @@ bool HtmSystem::commit(CoreId c, Cycle* publish_latency) {
   return true;
 }
 
+namespace {
+// Latched once: a getenv per capacity abort was measurable on overflow-heavy
+// workloads, and getenv is not guaranteed thread-safe once experiment runs
+// execute concurrently.
+bool debug_cap_enabled() {
+  static const bool enabled = std::getenv("ST_DEBUG_CAP") != nullptr;
+  return enabled;
+}
+}  // namespace
+
 void HtmSystem::mark_capacity_abort(CoreId c, Addr a) {
-  if (getenv("ST_DEBUG_CAP")) {
+  if (debug_cap_enabled()) {
     std::fprintf(stderr, "CAPACITY core=%u addr=%llx line=%llx set=%llu spec_lines=%u\n",
                  c, (unsigned long long)a, (unsigned long long)sim::line_addr(a),
                  (unsigned long long)(sim::line_index(a) & 127), mem_.speculative_lines(c));

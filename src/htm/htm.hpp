@@ -144,6 +144,7 @@ class HtmSystem final : public sim::ConflictSink {
   sim::MachineStats& stats_;
   std::function<Cycle()> clock_;
   std::vector<TxState> tx_;
+  std::vector<Addr> publish_scratch_;  // reused across lazy commits
 };
 
 }  // namespace st::htm

@@ -1,0 +1,129 @@
+// Open-addressed hash map keyed by cache-line address.
+//
+// The coherence directory does a find/insert/erase on nearly every L1 miss,
+// which made std::unordered_map's node allocations and pointer chasing the
+// hottest part of the memory system. LineMap stores entries inline in a
+// power-of-two slot array with linear probing and tombstone-free
+// backward-shift deletion, so lookups touch one or two consecutive cache
+// lines and erase-heavy churn (lines are dropped on every eviction and
+// abort) never degrades the table. Iteration order is insertion-history
+// dependent but the simulator only iterates to *check* invariants, never to
+// make decisions, so determinism is preserved.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/types.hpp"
+
+namespace st::sim {
+
+template <typename V>
+class LineMap {
+ public:
+  explicit LineMap(std::size_t initial_slots = 1024) {
+    std::size_t cap = 16;
+    while (cap < initial_slots) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  V* find(Addr key) {
+    std::size_t i = ideal(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return &slots_[i].val;
+      i = next(i);
+    }
+    return nullptr;
+  }
+  const V* find(Addr key) const {
+    return const_cast<LineMap*>(this)->find(key);
+  }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  /// May rehash: references from earlier calls are invalidated.
+  V& get_or_insert(Addr key) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    std::size_t i = ideal(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return slots_[i].val;
+      i = next(i);
+    }
+    slots_[i].used = true;
+    slots_[i].key = key;
+    slots_[i].val = V{};
+    ++size_;
+    return slots_[i].val;
+  }
+
+  /// Removes `key` if present (backward-shift deletion keeps probe chains
+  /// intact without tombstones). Returns whether it was present.
+  bool erase(Addr key) {
+    std::size_t i = ideal(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) {
+        shift_back(i);
+        --size_;
+        return true;
+      }
+      i = next(i);
+    }
+    return false;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.used) fn(s.key, s.val);
+  }
+
+ private:
+  struct Slot {
+    Addr key = 0;
+    V val{};
+    bool used = false;
+  };
+
+  std::size_t mask() const { return slots_.size() - 1; }
+  std::size_t next(std::size_t i) const { return (i + 1) & mask(); }
+  std::size_t ideal(Addr key) const {
+    // Line addresses share their low 6 bits; hash the dense line index.
+    return static_cast<std::size_t>(mix64(line_index(key))) & mask();
+  }
+
+  void shift_back(std::size_t hole) {
+    std::size_t j = hole;
+    for (;;) {
+      j = next(j);
+      if (!slots_[j].used) break;
+      // An entry may move into the hole only if doing so keeps it on its
+      // probe chain: its displacement from home must reach past the hole.
+      const std::size_t home = ideal(slots_[j].key);
+      if (((j - home) & mask()) >= ((j - hole) & mask())) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole].used = false;
+    slots_[hole].val = V{};
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(old.size() * 2);
+    size_ = 0;
+    for (Slot& s : old)
+      if (s.used) get_or_insert(s.key) = std::move(s.val);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace st::sim

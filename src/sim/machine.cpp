@@ -1,5 +1,8 @@
 #include "sim/machine.hpp"
 
+#include <queue>
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace st::sim {
@@ -30,19 +33,30 @@ Cycle Machine::now() const {
 }
 
 Cycle Machine::run(Cycle max_cycles) {
-  for (;;) {
-    // Pick the runnable core with the smallest clock (stable by id).
-    int next = -1;
-    for (unsigned i = 0; i < cores_.size(); ++i) {
-      Core& c = cores_[i];
-      if (!c.task || c.task->done()) continue;
-      if (next < 0 || c.clock < cores_[next].clock) next = static_cast<int>(i);
+  // Event queue keyed by (clock, core id): pop order is exactly the old
+  // linear scan's order (smallest clock, ties by id) without rescanning
+  // every core per step. Entries go stale when a task advances clocks it
+  // does not own (advance_clock from inside step); a popped entry whose
+  // clock disagrees with the core's is requeued at the true clock, so no
+  // runnable core is ever lost. Clocks only grow, so this terminates.
+  using Entry = std::pair<Cycle, CoreId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ready;
+  for (unsigned i = 0; i < cores_.size(); ++i)
+    if (cores_[i].task && !cores_[i].task->done())
+      ready.emplace(cores_[i].clock, static_cast<CoreId>(i));
+  while (!ready.empty()) {
+    const auto [clk, id] = ready.top();
+    ready.pop();
+    Core& c = cores_[id];
+    if (!c.task || c.task->done()) continue;
+    if (c.clock != clk) {
+      ready.emplace(c.clock, id);
+      continue;
     }
-    if (next < 0) break;
-    Core& c = cores_[next];
     if (c.clock >= max_cycles) break;
-    const Cycle used = c.task->step(*this, static_cast<CoreId>(next));
+    const Cycle used = c.task->step(*this, id);
     c.clock += used < 1 ? 1 : used;
+    if (!c.task->done()) ready.emplace(c.clock, id);
   }
   Cycle end = 0;
   for (const auto& c : cores_)

@@ -38,11 +38,11 @@ bool MemorySystem::conflict_check(CoreId remote, Addr line, AccessKind kind,
 }
 
 void MemorySystem::dir_drop(CoreId c, Addr line) {
-  auto it = dir_.find(line);
-  if (it == dir_.end()) return;
-  it->second.sharers &= ~(1u << c);
-  if (it->second.owner == static_cast<int>(c)) it->second.owner = -1;
-  if (it->second.sharers == 0) dir_.erase(it);
+  DirEntry* e = dir_.find(line);
+  if (e == nullptr) return;
+  e->sharers &= ~(1u << c);
+  if (e->owner == static_cast<int>(c)) e->owner = -1;
+  if (e->sharers == 0) dir_.erase(line);
 }
 
 void MemorySystem::invalidate_remote(CoreId remote, Addr line, DirEntry& d) {
@@ -92,22 +92,21 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       // (requester wins). Snapshot the sharer mask: aborting a victim
       // mutates directory state (it may even erase this line's entry), so
       // the entry is re-found on every iteration.
-      auto it = dir_.find(line);
-      const std::uint32_t sharers =
-          (it == dir_.end() ? 0 : it->second.sharers) & ~(1u << c);
+      const DirEntry* it = dir_.find(line);
+      const std::uint32_t sharers = (it == nullptr ? 0 : it->sharers) & ~(1u << c);
       for (unsigned s = 0; s < cfg_.cores; ++s) {
         if (!(sharers & (1u << s))) continue;
         conflict_check(s, line, kind, c);
-        auto it2 = dir_.find(line);
-        if (it2 == dir_.end()) continue;
-        invalidate_remote(s, line, it2->second);
-        if (it2->second.sharers == 0) dir_.erase(it2);
+        DirEntry* e2 = dir_.find(line);
+        if (e2 == nullptr) continue;
+        invalidate_remote(s, line, *e2);
+        if (e2->sharers == 0) dir_.erase(line);
       }
       out.latency += (l != nullptr) ? cfg_.dir_lat        // upgrade S/O -> M
                                     : cfg_.dir_lat + fill_latency(c, line);
     } else {  // Load miss
-      auto itd = dir_.find(line);
-      const int owner = itd == dir_.end() ? -1 : itd->second.owner;
+      const DirEntry* itd = dir_.find(line);
+      const int owner = itd == nullptr ? -1 : itd->owner;
       if (owner >= 0 && owner != static_cast<int>(c)) {
         const bool conflicted =
             check_conflicts &&
@@ -142,7 +141,7 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       v->line = line;
       l = v;
     }
-    DirEntry& d2 = dir_[line];  // re-lookup: aborts may have erased the entry
+    DirEntry& d2 = dir_.get_or_insert(line);  // re-lookup: aborts may have erased the entry
     if (kind == AccessKind::Store) {
       l->state = Coh::M;
       d2.owner = static_cast<int>(c);
@@ -185,21 +184,20 @@ AccessOutcome MemorySystem::tx_store_lazy(CoreId c, Addr addr, unsigned size,
 Cycle MemorySystem::publish_line(CoreId c, Addr line) {
   line = line_addr(line);
   Cycle lat = cfg_.dir_lat;
-  auto it = dir_.find(line);
-  const std::uint32_t sharers =
-      (it == dir_.end() ? 0 : it->second.sharers) & ~(1u << c);
+  const DirEntry* it = dir_.find(line);
+  const std::uint32_t sharers = (it == nullptr ? 0 : it->sharers) & ~(1u << c);
   for (unsigned s = 0; s < cfg_.cores; ++s) {
     if (!(sharers & (1u << s))) continue;
     conflict_check(s, line, AccessKind::Store, c);
-    auto it2 = dir_.find(line);
-    if (it2 == dir_.end()) continue;
-    invalidate_remote(s, line, it2->second);
-    if (it2->second.sharers == 0) dir_.erase(it2);
+    DirEntry* e2 = dir_.find(line);
+    if (e2 == nullptr) continue;
+    invalidate_remote(s, line, *e2);
+    if (e2->sharers == 0) dir_.erase(line);
   }
   L1Line* l = l1_[c]->find(line);
   ST_CHECK_MSG(l != nullptr, "publishing a line not in the committer's L1");
   l->state = Coh::M;
-  DirEntry& d = dir_[line];
+  DirEntry& d = dir_.get_or_insert(line);
   d.sharers |= 1u << c;
   d.owner = static_cast<int>(c);
   return lat;
@@ -207,10 +205,16 @@ Cycle MemorySystem::publish_line(CoreId c, Addr line) {
 
 std::vector<Addr> MemorySystem::speculative_written_lines(CoreId c) const {
   std::vector<Addr> out;
+  speculative_written_lines(c, out);
+  return out;
+}
+
+void MemorySystem::speculative_written_lines(CoreId c,
+                                             std::vector<Addr>& out) const {
+  out.clear();
   const_cast<L1Cache&>(*l1_[c]).for_each_valid([&](L1Line& l) {
     if (l.tx_write) out.push_back(l.line);
   });
-  return out;
 }
 
 void MemorySystem::clear_speculative(CoreId c, bool invalidate_written) {
@@ -238,17 +242,17 @@ unsigned MemorySystem::speculative_lines(CoreId c) const {
 }
 
 std::uint32_t MemorySystem::dir_sharers(Addr line) const {
-  auto it = dir_.find(line_addr(line));
-  return it == dir_.end() ? 0 : it->second.sharers;
+  const DirEntry* e = dir_.find(line_addr(line));
+  return e == nullptr ? 0 : e->sharers;
 }
 
 int MemorySystem::dir_owner(Addr line) const {
-  auto it = dir_.find(line_addr(line));
-  return it == dir_.end() ? -1 : it->second.owner;
+  const DirEntry* e = dir_.find(line_addr(line));
+  return e == nullptr ? -1 : e->owner;
 }
 
 void MemorySystem::check_invariants() const {
-  for (const auto& [line, d] : dir_) {
+  dir_.for_each([&](Addr line, const DirEntry& d) {
     ST_CHECK_MSG(d.sharers != 0, "directory entry with no sharers");
     if (d.owner >= 0)
       ST_CHECK_MSG(d.sharers & (1u << d.owner), "owner not in sharer set");
@@ -264,7 +268,7 @@ void MemorySystem::check_invariants() const {
       }
     }
     ST_CHECK_MSG(writable <= 1, "multiple writable copies of one line");
-  }
+  });
 }
 
 }  // namespace st::sim

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/cache.hpp"
+#include "sim/dir_map.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -92,6 +92,11 @@ class MemorySystem {
   /// Line addresses currently marked tx_write in core c's L1.
   std::vector<Addr> speculative_written_lines(CoreId c) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the same lines.
+  /// Commit paths call this once per transaction, so they pass a reusable
+  /// scratch buffer instead of paying for a fresh vector every time.
+  void speculative_written_lines(CoreId c, std::vector<Addr>& out) const;
+
   /// Ends speculation for core c. With `invalidate_written`, speculatively
   /// written lines are dropped (abort); otherwise they stay valid (commit).
   void clear_speculative(CoreId c, bool invalidate_written);
@@ -120,7 +125,8 @@ class MemorySystem {
   bool conflict_check(CoreId remote, Addr line, AccessKind kind,
                       CoreId requester);
 
-  /// Invalidates `line` in `remote`'s L1 and in the directory.
+  /// Invalidates `line` in `remote`'s L1 and in the directory entry `d`;
+  /// the caller erases the entry when its sharer set empties.
   void invalidate_remote(CoreId remote, Addr line, DirEntry& d);
 
   /// Removes core c's copy of `line` from the directory bookkeeping.
@@ -134,7 +140,7 @@ class MemorySystem {
   std::vector<std::unique_ptr<L1Cache>> l1_;
   std::vector<std::unique_ptr<TagCache>> l2_;
   TagCache l3_;
-  std::unordered_map<Addr, DirEntry> dir_;
+  LineMap<DirEntry> dir_;
 };
 
 }  // namespace st::sim

@@ -1,5 +1,7 @@
 #include "workloads/harness.hpp"
 
+#include <chrono>
+
 #include "common/check.hpp"
 #include "runtime/tx_executor.hpp"
 
@@ -108,6 +110,7 @@ double RunResult::energy_estimate() const {
 
 RunResult run_workload(Workload& wl, const RunOptions& opt) {
   ST_CHECK(opt.threads >= 1);
+  const auto wall_start = std::chrono::steady_clock::now();
   ir::Module m;
   wl.build_ir(m);
   const auto mode = opt.instrument_override.value_or(
@@ -151,6 +154,9 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
   r.static_loads_stores = prog.loads_stores_analyzed;
   r.static_anchors = prog.anchors_selected;
   r.atomic_blocks = static_cast<unsigned>(m.atomic_blocks().size());
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
   return r;
 }
 

@@ -39,6 +39,9 @@ struct RunResult {
   unsigned static_loads_stores = 0;   // Table 3 statics
   unsigned static_anchors = 0;
   unsigned atomic_blocks = 0;
+  /// Host wall-clock time this run took (not simulated time; the only
+  /// non-deterministic field — everything above is bit-reproducible).
+  double wall_ms = 0;
 
   double throughput() const {
     return cycles == 0 ? 0.0

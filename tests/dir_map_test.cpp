@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "sim/dir_map.hpp"
+
+namespace st::sim {
+namespace {
+
+TEST(LineMap, InsertFindErase) {
+  LineMap<int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(0x1000), nullptr);
+
+  m.get_or_insert(0x1000) = 7;
+  ASSERT_NE(m.find(0x1000), nullptr);
+  EXPECT_EQ(*m.find(0x1000), 7);
+  EXPECT_EQ(m.size(), 1u);
+
+  // get_or_insert on an existing key returns the same slot.
+  m.get_or_insert(0x1000) += 1;
+  EXPECT_EQ(*m.find(0x1000), 8);
+  EXPECT_EQ(m.size(), 1u);
+
+  m.erase(0x1000);
+  EXPECT_EQ(m.find(0x1000), nullptr);
+  EXPECT_EQ(m.size(), 0u);
+  m.erase(0x1000);  // erasing a missing key is a no-op
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(LineMap, GrowsPastInitialCapacity) {
+  LineMap<std::uint64_t> m;
+  constexpr std::uint64_t kN = 10'000;  // well past the default 1024 slots
+  for (std::uint64_t i = 0; i < kN; ++i) m.get_or_insert(i * 64) = i;
+  EXPECT_EQ(m.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_NE(m.find(i * 64), nullptr) << "key " << i;
+    EXPECT_EQ(*m.find(i * 64), i);
+  }
+}
+
+TEST(LineMap, ForEachVisitsEveryEntryOnce) {
+  LineMap<std::uint64_t> m;
+  std::uint64_t want_keys = 0, want_vals = 0;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    m.get_or_insert(i * 64) = i * 3;
+    want_keys += i * 64;
+    want_vals += i * 3;
+  }
+  std::uint64_t keys = 0, vals = 0, count = 0;
+  m.for_each([&](Addr k, const std::uint64_t& v) {
+    keys += k;
+    vals += v;
+    ++count;
+  });
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(keys, want_keys);
+  EXPECT_EQ(vals, want_vals);
+}
+
+// Differential fuzz against std::unordered_map, which the directory used to
+// be built on: random insert/overwrite/erase/lookup traffic over a small key
+// universe (lots of collisions and backward-shift deletions), checking full
+// agreement periodically.
+TEST(LineMap, FuzzAgainstUnorderedMap) {
+  for (std::uint64_t seed : {1u, 2u, 42u}) {
+    Xoshiro256ss rng(seed);
+    LineMap<std::uint32_t> m;
+    std::unordered_map<Addr, std::uint32_t> ref;
+
+    for (int step = 0; step < 50'000; ++step) {
+      const Addr key = (rng.next() % 512) * 64;  // 512-line universe
+      switch (rng.next() % 4) {
+        case 0:
+        case 1: {  // insert/overwrite
+          const auto val = static_cast<std::uint32_t>(rng.next());
+          m.get_or_insert(key) = val;
+          ref[key] = val;
+          break;
+        }
+        case 2:  // erase
+          m.erase(key);
+          ref.erase(key);
+          break;
+        default: {  // lookup
+          const auto* p = m.find(key);
+          const auto it = ref.find(key);
+          ASSERT_EQ(p != nullptr, it != ref.end());
+          if (p) {
+            ASSERT_EQ(*p, it->second);
+          }
+          break;
+        }
+      }
+      if (step % 5'000 == 0) {
+        ASSERT_EQ(m.size(), ref.size());
+        std::size_t visited = 0;
+        m.for_each([&](Addr k, const std::uint32_t& v) {
+          ++visited;
+          const auto it = ref.find(k);
+          ASSERT_NE(it, ref.end()) << "stray key " << k;
+          ASSERT_EQ(v, it->second);
+        });
+        ASSERT_EQ(visited, ref.size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace st::sim

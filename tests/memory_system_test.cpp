@@ -185,6 +185,41 @@ TEST(MemorySystem, LineCrossingAccessDies) {
                "crosses");
 }
 
+// Directory growth/churn regression for the open-addressed LineMap backing:
+// touch far more distinct lines than the map's initial capacity (forcing
+// rehashes) from several cores, with stores evicting and re-fetching lines so
+// the directory sees steady erase/insert churn on long probe chains.
+TEST(MemorySystem, DirectoryGrowthAndChurn) {
+  Fixture f;
+  Xoshiro256ss rng(99);
+  constexpr unsigned kLines = 4096;  // >> the directory's initial slots
+  for (unsigned i = 0; i < kLines; ++i) {
+    const Addr a = 0x100000 + static_cast<Addr>(i) * kLineBytes;
+    const CoreId c = static_cast<CoreId>(i % 4);
+    f.mem->access(c, a, 8, AccessKind::Load, false, 0);
+    if (i % 512 == 0) f.mem->check_invariants();
+  }
+  // Random revisits: L1s are tiny relative to 4096 lines, so nearly every
+  // access evicts something (directory erase) and refetches (insert).
+  for (int i = 0; i < 20'000; ++i) {
+    const Addr a =
+        0x100000 + static_cast<Addr>(rng.next_below(kLines)) * kLineBytes;
+    const CoreId c = static_cast<CoreId>(rng.next_below(4));
+    const auto kind =
+        rng.chance_pct(50) ? AccessKind::Store : AccessKind::Load;
+    f.mem->access(c, a, 8, kind, false, 0);
+    if (i % 1024 == 0) f.mem->check_invariants();
+  }
+  f.mem->check_invariants();
+  // Spot-check that revisited lines still resolve correctly post-churn.
+  for (unsigned i = 0; i < 64; ++i) {
+    const Addr a = 0x100000 + static_cast<Addr>(i * 64) * kLineBytes;
+    f.mem->access(0, a, 8, AccessKind::Load, false, 0);
+    ASSERT_NE(f.mem->peek_l1(0, line_addr(a)), nullptr);
+  }
+  f.mem->check_invariants();
+}
+
 class MemoryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MemoryFuzz, InvariantsHoldUnderRandomTraffic) {

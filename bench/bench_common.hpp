@@ -186,12 +186,15 @@ class Sweep {
           f,
           "\", \"threads\": %u, \"cycles\": %llu, \"total_ops\": %llu, "
           "\"throughput\": %.17g, \"commits\": %llu, \"aborts\": %llu, "
-          "\"aborts_per_commit\": %.17g, \"wall_ms\": %.3f}",
+          "\"aborts_per_commit\": %.17g, \"wall_ms\": %.3f, "
+          "\"instrs\": %llu, \"minstr_per_s\": %.3f}",
           r->threads, static_cast<unsigned long long>(r->cycles),
           static_cast<unsigned long long>(r->total_ops), r->throughput(),
           static_cast<unsigned long long>(r->totals.commits),
           static_cast<unsigned long long>(r->totals.total_aborts()),
-          r->aborts_per_commit(), r->wall_ms);
+          r->aborts_per_commit(), r->wall_ms,
+          static_cast<unsigned long long>(r->totals.interp_instrs),
+          r->host_minstr_per_s());
     }
     // serial_wall_ms sums each run's host time: what the sweep would have
     // cost on one worker. The ratio tracks the runner's speedup per PR.

@@ -122,15 +122,32 @@ void BM_InterpreterArithLoop(benchmark::State& state) {
   b.ret(i);
   NullEnv env;
   interp::Interp it(env);
-  for (auto _ : state) {
-    it.start(b.function(), std::vector<std::uint64_t>{64});
-    while (!it.step().finished) {
+  // Single-stepped (budget 1): every instruction is its own step, as the
+  // scheduler does when another core has an event on the very next cycle.
+  if (state.range(0) == 1) {
+    for (auto _ : state) {
+      it.start(b.function(), std::vector<std::uint64_t>{64});
+      while (!it.step().finished) {
+      }
+      benchmark::DoNotOptimize(it.result());
     }
-    benchmark::DoNotOptimize(it.result());
+  } else {
+    // Fused: one step may retire a whole pure-register run, as the
+    // scheduler allows whenever the core owns the near future.
+    const sim::Cycle budget = static_cast<sim::Cycle>(state.range(0));
+    for (auto _ : state) {
+      it.start(b.function(), std::vector<std::uint64_t>{64});
+      while (!it.step(budget).finished) {
+      }
+      benchmark::DoNotOptimize(it.result());
+    }
   }
   state.SetItemsProcessed(state.iterations() * 64 * 4);
 }
-BENCHMARK(BM_InterpreterArithLoop);
+BENCHMARK(BM_InterpreterArithLoop)
+    ->Arg(1)        // old single-stepping behaviour
+    ->Arg(1 << 20)  // effectively unbounded fusion
+    ->ArgName("budget");
 
 // End-to-end smoke of the parallel experiment runner: two tiny full-system
 // runs per iteration, scheduled through the pool. Registered as a ctest

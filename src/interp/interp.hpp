@@ -1,10 +1,21 @@
-// Step-wise TxIR interpreter.
+// Step-wise TxIR interpreter over pre-decoded code.
 //
-// Executes one instruction per step() so the discrete-event scheduler can
-// interleave cores at instruction granularity. All memory effects go through
-// an ExecEnv, which the transaction executor implements in three flavours:
-// speculative (HTM), irrevocable (plain accesses under the global lock), and
-// setup (single-threaded initialization).
+// Executes the flattened DecodedCode of a function (see ir/decode.hpp):
+// each frame is a {code pointer, instruction index} pair, so the hot loop
+// never chases std::list nodes. step() takes a cycle budget: boundary
+// instructions (memory accesses, alloc/free, ALPoints, call/ret — the only
+// instructions through which cores interact) always execute as their own
+// step, while runs of pure-register instructions are fused into one step
+// whose cycle cost is the sum of the single-step costs, stopping before
+// the next boundary or once the budget is spent. With budget == 1 (the
+// default) every step retires exactly one instruction, as the original
+// single-stepping interpreter did (a branch fused into its predecessor
+// at decode time only executes when it starts inside the budget).
+//
+// All memory effects go through an ExecEnv, which the transaction executor
+// implements in three flavours: speculative (HTM), irrevocable (plain
+// accesses under the global lock), and setup (single-threaded
+// initialization).
 #pragma once
 
 #include <cstdint>
@@ -56,31 +67,53 @@ class Interp {
     bool finished = false;
     bool aborted = false;
   };
-  /// Executes (at most) one instruction.
-  Step step();
+  /// Executes at least one instruction. A boundary instruction executes
+  /// alone; a pure-register instruction starts a fused run that continues
+  /// while the next instruction is also pure and the accumulated cycle
+  /// cost stays below `budget`. The caller guarantees that no other core
+  /// has a scheduler event within `budget` cycles of the current one
+  /// (sim::Machine::fuse_budget provides exactly this), which makes fused
+  /// execution bit-identical to single-stepping: cores interact only at
+  /// boundary instructions, and those still fire at the same global clock.
+  /// Every retired instruction *starts* strictly inside the budget (a
+  /// multi-cycle instruction may finish past it, exactly as its atomic
+  /// single-step event would have).
+  Step step(sim::Cycle budget = 1);
 
-  bool running() const { return !frames_.empty(); }
+  bool running() const { return depth_ > 0; }
   std::uint64_t result() const { return result_; }
   std::uint64_t instrs_executed() const { return instr_count_; }
   std::uint64_t alps_executed() const { return alp_count_; }
 
   /// Cost model constants (cycles).
   static constexpr sim::Cycle kAluCost = 1;
+  static constexpr sim::Cycle kDivCost = 12;
+  static constexpr sim::Cycle kFreeCost = 8;
   static constexpr sim::Cycle kCallCost = 2;
   static constexpr sim::Cycle kAllocCost = 24;
   static constexpr sim::Cycle kInactiveAlpCost = 1;  // test + untaken branch
 
  private:
   struct Frame {
-    const ir::Function* f = nullptr;
-    const ir::BasicBlock* bb = nullptr;
-    std::list<ir::Instr>::const_iterator it;
+    const ir::DecodedInstr* code = nullptr;  // flattened function body
+    const ir::DecodedExt* ext = nullptr;     // boundary-only side table
+    const ir::Reg* args = nullptr;           // pooled Call argument registers
+    std::uint32_t ip = 0;
     ir::Reg ret_to = ir::kNoReg;
     std::vector<std::uint64_t> regs;
   };
 
+  Step step_boundary(const ir::DecodedInstr& ins);
+
+  /// Returns the frame at depth_ (reusing a pooled Frame's register storage
+  /// when one exists) and increments depth_. May reallocate `frames_`.
+  Frame& push_frame();
+
   ExecEnv& env_;
+  // Frame pool: frames_[0..depth_) are live; slots above depth_ keep their
+  // register vectors' capacity so repeated transactions do not reallocate.
   std::vector<Frame> frames_;
+  std::size_t depth_ = 0;
   std::uint64_t result_ = 0;
   std::uint64_t instr_count_ = 0;
   std::uint64_t alp_count_ = 0;

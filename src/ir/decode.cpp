@@ -1,0 +1,225 @@
+#include "ir/decode.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "ir/function.hpp"
+
+namespace st::ir {
+
+bool op_is_boundary(Op op) {
+  switch (op) {
+    case Op::Load:
+    case Op::Store:
+    case Op::NtLoad:
+    case Op::NtStore:
+    case Op::Alloc:
+    case Op::Free:
+    case Op::Call:
+    case Op::Ret:
+    case Op::AlPoint:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Validates at decode time every register a pure instruction will touch, so
+// the interpreter's fused loop can index the register file unchecked. The
+// boundary ops keep their checks in the (cold) boundary dispatch.
+void check_pure_operands(const Instr& ins, unsigned nregs) {
+  const auto reg_ok = [nregs](Reg r) { return r < nregs; };
+  switch (ins.op) {
+    case Op::ConstI:
+      ST_CHECK_MSG(reg_ok(ins.dst), "decode: register out of range");
+      break;
+    case Op::Mov:
+    case Op::Gep:
+      ST_CHECK_MSG(reg_ok(ins.dst) && reg_ok(ins.a),
+                   "decode: register out of range");
+      break;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::SDiv:
+    case Op::SRem:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::LShr:
+    case Op::CmpEq:
+    case Op::CmpNe:
+    case Op::CmpSLt:
+    case Op::CmpSLe:
+    case Op::CmpSGt:
+    case Op::CmpSGe:
+    case Op::CmpULt:
+    case Op::GepIndex:
+      ST_CHECK_MSG(reg_ok(ins.dst) && reg_ok(ins.a) && reg_ok(ins.b),
+                   "decode: register out of range");
+      break;
+    case Op::CondBr:
+      ST_CHECK_MSG(reg_ok(ins.a), "decode: register out of range");
+      break;
+    case Op::Br:
+    case Op::Nop:
+      break;
+    default:
+      ST_UNREACHABLE("boundary opcode in pure operand validation");
+  }
+}
+
+}  // namespace
+
+DecodedCode decode_function(const Function& f) {
+  DecodedCode out;
+  out.code.reserve(f.instr_count());
+  out.block_start.reserve(f.blocks().size());
+  std::unordered_map<const BasicBlock*, std::uint32_t> start;
+
+  for (const auto& b : f.blocks()) {
+    ST_CHECK_MSG(b->has_terminator(),
+                 "decode: block would fall off the end of a basic block");
+    const auto first = static_cast<std::uint32_t>(out.code.size());
+    out.block_start.push_back(first);
+    start.emplace(b.get(), first);
+    for (const Instr& ins : b->instrs()) {
+      DecodedInstr d;
+      d.op = static_cast<DecOp>(ins.op);
+      if (op_is_boundary(ins.op)) d.flags = DecodedInstr::kBoundary;
+      d.dst = ins.dst;
+      d.a = ins.a;
+      d.b = ins.b;
+      d.imm = ins.imm;
+      if (d.is_boundary()) {
+        DecodedExt e;
+        e.acc_size = ins.acc_size;
+        e.pc = ins.pc;
+        e.alp_id = ins.alp_id;
+        e.type = ins.type;
+        e.callee = ins.callee;
+        if (!ins.args.empty()) {
+          e.args_begin = static_cast<std::uint32_t>(out.args.size());
+          out.args.insert(out.args.end(), ins.args.begin(), ins.args.end());
+          e.args_end = static_cast<std::uint32_t>(out.args.size());
+        }
+        d.t1 = static_cast<std::uint32_t>(out.ext.size());
+        out.ext.push_back(e);
+      } else {
+        check_pure_operands(ins, f.num_regs());
+      }
+      out.code.push_back(d);
+    }
+  }
+
+  // Second pass: resolve branch targets to code indices.
+  std::size_t idx = 0;
+  for (const auto& b : f.blocks()) {
+    for (const Instr& ins : b->instrs()) {
+      DecodedInstr& d = out.code[idx++];
+      if (ins.op == Op::Br || ins.op == Op::CondBr) {
+        auto it1 = start.find(ins.t1);
+        ST_CHECK_MSG(it1 != start.end(), "decode: branch to foreign block");
+        d.t1 = it1->second;
+        if (ins.op == Op::CondBr) {
+          auto it2 = start.find(ins.t2);
+          ST_CHECK_MSG(it2 != start.end(), "decode: branch to foreign block");
+          d.t2 = it2->second;
+        }
+      }
+    }
+  }
+
+  // Third pass: imm fusion. ConstI b, imm immediately followed by a
+  // cost-1 binary op reading b becomes one superinstruction that writes
+  // both registers (the FunctionBuilder emits this pattern for every
+  // literal operand). The absorbed binary op stays at k + 1, both for
+  // direct jumps to it and for resuming there when the step budget
+  // splits the pair mid-way.
+  for (std::size_t k = 0; k + 1 < out.code.size(); ++k) {
+    DecodedInstr& d = out.code[k];
+    if (d.op != DecOp::ConstI) continue;
+    const DecodedInstr& s = out.code[k + 1];
+    if (s.b != d.dst || s.dst == kNoReg) continue;
+    DecOp fused;
+    switch (s.op) {
+      case DecOp::Add: fused = DecOp::AddImm; break;
+      case DecOp::Sub: fused = DecOp::SubImm; break;
+      case DecOp::Mul: fused = DecOp::MulImm; break;
+      case DecOp::And: fused = DecOp::AndImm; break;
+      case DecOp::Or: fused = DecOp::OrImm; break;
+      case DecOp::Xor: fused = DecOp::XorImm; break;
+      case DecOp::Shl: fused = DecOp::ShlImm; break;
+      case DecOp::LShr: fused = DecOp::LShrImm; break;
+      case DecOp::CmpEq: fused = DecOp::CmpEqImm; break;
+      case DecOp::CmpNe: fused = DecOp::CmpNeImm; break;
+      case DecOp::CmpSLt: fused = DecOp::CmpSLtImm; break;
+      case DecOp::CmpSLe: fused = DecOp::CmpSLeImm; break;
+      case DecOp::CmpSGt: fused = DecOp::CmpSGtImm; break;
+      case DecOp::CmpSGe: fused = DecOp::CmpSGeImm; break;
+      case DecOp::CmpULt: fused = DecOp::CmpULtImm; break;
+      default: continue;  // SDiv/SRem (cost differs), non-binary, boundary
+    }
+    // d keeps its own dst in b (the ConstI target) and takes the binary
+    // op's dst/a; imm is already the literal.
+    d.b = d.dst;
+    d.dst = s.dst;
+    d.a = s.a;
+    d.op = fused;
+    // Also absorb a Mov that copies the result out (FunctionBuilder's
+    // assign() pattern); its destination register rides in t2.
+    if (k + 2 < out.code.size()) {
+      const DecodedInstr& mv = out.code[k + 2];
+      if (mv.op == DecOp::Mov && mv.a == d.dst) {
+        d.flags |= DecodedInstr::kFusedMov;
+        d.t2 = mv.dst;
+      }
+    }
+  }
+
+  // Fourth pass: branch fusion. A pure non-branch instruction whose
+  // block successor is a branch absorbs it: the branch's resolved
+  // targets move into the instruction's free t1/t2 slots and the
+  // interpreter retires both in one dispatch round. Cycle cost and
+  // retired-instruction count are those of the separate pair, so every
+  // counter the simulation reports is unchanged; pure instructions touch
+  // only core-local state, so the coarser event granularity is invisible
+  // to other cores. The absorbed branch is left in place for jumps that
+  // enter the block mid-pair (it is then executed unfused, exactly as
+  // before).
+  for (std::size_t k = 0; k + 1 < out.code.size(); ++k) {
+    DecodedInstr& d = out.code[k];
+    if (d.is_boundary() || d.op == DecOp::Br || d.op == DecOp::CondBr ||
+        d.op == DecOp::Nop) {
+      continue;
+    }
+    // An imm-fused superinstruction's block successor lies past the
+    // instructions it absorbed (binary op, plus a Mov when kFusedMov).
+    std::size_t succ = k + 1;
+    if (d.op > DecOp::Nop) {
+      succ = k + ((d.flags & DecodedInstr::kFusedMov) != 0 ? 3 : 2);
+    }
+    if (succ >= out.code.size()) continue;
+    const DecodedInstr& s = out.code[succ];
+    // A pure non-branch instruction is never a block terminator, so
+    // `succ` is still inside the same block.
+    if (s.op == DecOp::Br) {
+      d.flags |= DecodedInstr::kFusedBr;
+      d.t1 = s.t1;
+    } else if (s.op == DecOp::CondBr && s.a == d.dst &&
+               (d.flags & DecodedInstr::kFusedMov) == 0) {
+      // The branch tests the value this instruction just wrote, so the
+      // fused form can read it back from the register file. kFusedMov
+      // already owns t2, so it only composes with the one-target Br.
+      d.flags |= DecodedInstr::kFusedCondBr;
+      d.t1 = s.t1;
+      d.t2 = s.t2;
+    }
+  }
+  return out;
+}
+
+}  // namespace st::ir

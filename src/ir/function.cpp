@@ -36,7 +36,13 @@ BasicBlock* Function::add_block(std::string name) {
   blocks_.push_back(std::make_unique<BasicBlock>(
       this, std::move(name), static_cast<unsigned>(blocks_.size())));
   rpo_valid_ = false;
+  decoded_.reset();
   return blocks_.back().get();
+}
+
+const DecodedCode& Function::decoded() const {
+  if (!decoded_) decoded_ = std::make_unique<DecodedCode>(decode_function(*this));
+  return *decoded_;
 }
 
 Reg Function::fresh_reg() {

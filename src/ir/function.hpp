@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/decode.hpp"
 #include "ir/instr.hpp"
 
 namespace st::ir {
@@ -78,6 +79,14 @@ class Function {
 
   unsigned instr_count() const;
 
+  /// Pre-decoded flat code (see ir/decode.hpp), built lazily on first use
+  /// and cached. add_block and Module::finalize (which assigns PCs)
+  /// invalidate it; passes that splice instructions into existing blocks
+  /// must finish before the first execution — the compile pipeline
+  /// guarantees this by finalizing last.
+  const DecodedCode& decoded() const;
+  void invalidate_decoded() const { decoded_.reset(); }
+
  private:
   std::string name_;
   unsigned id_;
@@ -86,6 +95,7 @@ class Function {
   unsigned next_reg_;
   mutable std::vector<BasicBlock*> rpo_cache_;
   mutable bool rpo_valid_ = false;
+  mutable std::unique_ptr<DecodedCode> decoded_;
 };
 
 }  // namespace st::ir

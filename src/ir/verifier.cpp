@@ -45,8 +45,15 @@ std::vector<std::string> verify_function(const Function& f) {
         case Op::Call:
           if (!x.callee)
             err("call without callee");
-          else if (x.args.size() != x.callee->num_params())
-            err("call arity mismatch to " + x.callee->name());
+          else {
+            if (x.args.size() != x.callee->num_params())
+              err("call arity mismatch to " + x.callee->name());
+            // Independent of arity: the interpreter copies argument i into
+            // callee register i, so this is the memory-safety bound.
+            if (x.args.size() > x.callee->num_regs())
+              err("call passes more arguments than " + x.callee->name() +
+                  " has registers");
+          }
           for (Reg r : x.args)
             if (r >= nregs) err("call argument register out of range");
           break;

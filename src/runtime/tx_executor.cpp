@@ -164,12 +164,12 @@ std::uint64_t TxExecutor::take_result() {
   return result_;
 }
 
-sim::Cycle TxExecutor::step() {
+sim::Cycle TxExecutor::step(sim::Cycle budget) {
   switch (state_) {
     case State::kBeginAttempt: return begin_attempt();
-    case State::kRunning: return run_step();
+    case State::kRunning: return run_step(budget);
     case State::kGlockAcquire: return glock_step();
-    case State::kIrrevRunning: return irrev_step();
+    case State::kIrrevRunning: return irrev_step(budget);
     default:
       ST_CHECK_MSG(false, "step() on an idle/finished executor");
       return 1;
@@ -218,10 +218,10 @@ sim::Cycle TxExecutor::begin_attempt() {
   return kBeginCost;
 }
 
-sim::Cycle TxExecutor::run_step() {
+sim::Cycle TxExecutor::run_step(sim::Cycle budget) {
   if (sys_.htm().pending_abort(core_)) return handle_abort(AbortCause::None);
   last_step_lock_wait_ = false;
-  const auto s = spec_interp_->step();
+  const auto s = spec_interp_->step(budget);
   if (s.aborted) {
     // The instruction observed the transaction's death; its cycles are part
     // of the doomed attempt.
@@ -265,6 +265,7 @@ sim::Cycle TxExecutor::commit_sequence() {
   auto& st = sys_.stats().core(core_);
   st.cycles_useful_tx += attempt_cycles_;
   st.tx_instrs += spec_interp_->instrs_executed();
+  st.interp_instrs += spec_interp_->instrs_executed();
   result_ = spec_interp_->result();
   state_ = State::kFinished;
   return cost;
@@ -327,6 +328,9 @@ sim::Cycle TxExecutor::handle_abort(AbortCause self_cause) {
 
   auto& st = sys_.stats().core(core_);
   st.cycles_wasted_tx += attempt_cycles_;
+  // Host-throughput accounting: the doomed attempt's instructions were
+  // interpreted even though they never commit.
+  st.interp_instrs += spec_interp_->instrs_executed();
 
   if (info.cause == AbortCause::Conflict) resolve_and_train(info);
 
@@ -355,8 +359,8 @@ sim::Cycle TxExecutor::glock_step() {
   return cas.latency;
 }
 
-sim::Cycle TxExecutor::irrev_step() {
-  const auto s = plain_interp_->step();
+sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
+  const auto s = plain_interp_->step(budget);
   ST_CHECK_MSG(!s.aborted, "irrevocable execution cannot abort");
   attempt_cycles_ += s.cycles;
   if (!s.finished) return s.cycles;
@@ -364,6 +368,7 @@ sim::Cycle TxExecutor::irrev_step() {
   auto& st = sys_.stats().core(core_);
   st.cycles_irrevocable += attempt_cycles_;
   st.tx_instrs += plain_interp_->instrs_executed();
+  st.interp_instrs += plain_interp_->instrs_executed();
   ++st.commits;  // a serialized execution still commits its atomic block
   result_ = plain_interp_->result();
   const sim::Cycle rel =

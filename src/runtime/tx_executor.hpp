@@ -8,8 +8,10 @@
 //           \-> global-lock acquisition -> irrevocable execution
 //
 // The executor is a resumable state machine: each step() performs one
-// instruction (or one spin/backoff interval) so the discrete-event
-// scheduler interleaves cores faithfully.
+// boundary instruction, one spin/backoff interval, or one fused run of
+// pure-register instructions (bounded by the caller-provided cycle budget,
+// see interp::Interp::step), so the discrete-event scheduler interleaves
+// cores faithfully.
 #pragma once
 
 #include <vector>
@@ -35,7 +37,11 @@ class TxExecutor {
   std::uint64_t take_result();
 
   /// Advances the executor; call only while !idle() && !finished().
-  sim::Cycle step();
+  /// `budget` bounds how many cycles a fused interpreter run may consume
+  /// (pass sim::Machine::fuse_budget(); 1 forces single-stepping). One
+  /// step may retire several pure-register instructions, but boundary
+  /// instructions still execute one per step.
+  sim::Cycle step(sim::Cycle budget = 1);
 
   sim::CoreId core() const { return core_; }
   TxSystem& system() { return sys_; }
@@ -57,11 +63,11 @@ class TxExecutor {
   /// kTxSched: whole-transaction serialization lock (§7 comparison). The
   /// lock key is synthesized from the atomic-block id.
   sim::Addr sched_lock_key() const;
-  sim::Cycle run_step();
+  sim::Cycle run_step(sim::Cycle budget);
   sim::Cycle commit_sequence();
   sim::Cycle handle_abort(htm::AbortCause self_cause);
   sim::Cycle glock_step();
-  sim::Cycle irrev_step();
+  sim::Cycle irrev_step(sim::Cycle budget);
   void resolve_and_train(const htm::AbortInfo& info);
 
   static constexpr sim::Cycle kBeginCost = 5;

@@ -36,6 +36,7 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
   ST_CHECK_MSG(prog.module != nullptr && prog.module->finalized(),
                "TxSystem needs a compiled, finalized program");
   cfg_.mem.cores = cfg_.cores;
+  machine_.set_step_fusion(cfg_.macrostep);
   mem_ = std::make_unique<sim::MemorySystem>(cfg_.mem, stats_);
   htm_ = std::make_unique<htm::HtmSystem>(heap_, *mem_, stats_);
   htm_->set_clock([this] { return machine_.now(); });

@@ -43,6 +43,10 @@ struct RuntimeConfig {
   stagger::PolicyConfig policy;
   std::size_t arena_bytes = 16u << 20;
   std::uint64_t seed = 1;
+  /// Host-side interpreter macro-stepping; simulated results are identical
+  /// either way (see sim::Machine::fuse_budget). Defaults to the
+  /// STAGTM_MACROSTEP env knob.
+  bool macrostep = sim::Machine::default_step_fusion();
 };
 
 class TxSystem {

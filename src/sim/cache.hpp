@@ -65,6 +65,13 @@ class L1Cache {
       if (l.state != Coh::I) fn(l);
   }
 
+  /// Invoke `fn(const L1Line&)` on every valid line.
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) const {
+    for (const auto& l : lines_)
+      if (l.state != Coh::I) fn(l);
+  }
+
   std::uint32_t sets() const { return sets_; }
   std::uint32_t ways() const { return ways_; }
 

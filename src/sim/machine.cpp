@@ -1,11 +1,25 @@
 #include "sim/machine.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <queue>
+#include <string_view>
 #include <utility>
 
 #include "common/check.hpp"
 
 namespace st::sim {
+
+bool Machine::default_step_fusion() {
+  static const bool enabled = [] {
+    const char* s = std::getenv("STAGTM_MACROSTEP");
+    if (s == nullptr || std::string_view(s) == "1") return true;
+    if (std::string_view(s) == "0") return false;
+    std::fprintf(stderr, "STAGTM_MACROSTEP must be 0 or 1, got \"%s\"\n", s);
+    std::exit(2);
+  }();
+  return enabled;
+}
 
 Machine::Machine(unsigned cores) {
   ST_CHECK(cores >= 1 && cores <= 32);
@@ -54,7 +68,21 @@ Cycle Machine::run(Cycle max_cycles) {
       continue;
     }
     if (c.clock >= max_cycles) break;
+    // Fusion window: the stepping core stays the scheduler's choice for any
+    // event it would enqueue strictly before `limit` (the next competing
+    // entry's clock, +1 when this core also wins the id tie-break; capped
+    // by max_cycles). Work fused inside the window executes in exactly the
+    // order single-stepping would have produced. Stale competitor entries
+    // only shrink the window — never past an actual runnable event.
+    Cycle limit = max_cycles;
+    if (!ready.empty()) {
+      const auto [nclk, nid] = ready.top();
+      const Cycle h = (id < nid && nclk != ~Cycle{0}) ? nclk + 1 : nclk;
+      if (h < limit) limit = h;
+    }
+    fuse_budget_ = (fusion_ && limit > clk) ? limit - clk : 1;
     const Cycle used = c.task->step(*this, id);
+    fuse_budget_ = 1;
     c.clock += used < 1 ? 1 : used;
     if (!c.task->done()) ready.emplace(c.clock, id);
   }

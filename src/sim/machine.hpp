@@ -16,9 +16,12 @@ namespace st::sim {
 
 class Machine;
 
-/// A resumable unit of work bound to one core. step() performs a small,
-/// bounded amount of work (typically one instruction) and returns the number
-/// of cycles it consumed (>= 1).
+/// A resumable unit of work bound to one core. step() performs a bounded
+/// amount of work and returns the number of cycles it consumed (>= 1).
+/// A step may retire more than one instruction (a fused run), but it must
+/// consume no more than Machine::fuse_budget() cycles beyond its first
+/// instruction's start — that is the window within which no other core has
+/// a scheduler event, so fusing inside it cannot change the interleaving.
 class CoreTask {
  public:
   virtual ~CoreTask() = default;
@@ -49,12 +52,32 @@ class Machine {
   /// Adds idle time to a core (e.g., modeling an OS-level sleep).
   void advance_clock(CoreId core, Cycle cycles) { cores_[core].clock += cycles; }
 
+  /// Valid during a CoreTask::step() call: the number of cycles the stepping
+  /// core may consume in this step while still being popped before every
+  /// other core's next event (ties broken by core id, exactly as run()
+  /// breaks them). Always >= 1. A task that consumes at most this many
+  /// cycles per step produces a bit-identical execution to a task that
+  /// single-steps, because no other core can observe the difference.
+  Cycle fuse_budget() const { return fuse_budget_; }
+
+  /// Disables (or re-enables) multi-instruction fusion hints: with fusion
+  /// off, fuse_budget() is pinned to 1 and every step retires at most one
+  /// instruction. Defaults to the STAGTM_MACROSTEP environment knob.
+  void set_step_fusion(bool on) { fusion_ = on; }
+  bool step_fusion() const { return fusion_; }
+
+  /// STAGTM_MACROSTEP: unset or "1" enables fusion, "0" disables it;
+  /// anything else exits with a diagnostic (latched on first use).
+  static bool default_step_fusion();
+
  private:
   struct Core {
     Cycle clock = 0;
     std::unique_ptr<CoreTask> task;
   };
   std::vector<Core> cores_;
+  Cycle fuse_budget_ = 1;
+  bool fusion_ = default_step_fusion();
 };
 
 }  // namespace st::sim

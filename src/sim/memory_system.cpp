@@ -212,7 +212,8 @@ std::vector<Addr> MemorySystem::speculative_written_lines(CoreId c) const {
 void MemorySystem::speculative_written_lines(CoreId c,
                                              std::vector<Addr>& out) const {
   out.clear();
-  const_cast<L1Cache&>(*l1_[c]).for_each_valid([&](L1Line& l) {
+  const L1Cache& l1 = *l1_[c];
+  l1.for_each_valid([&](const L1Line& l) {
     if (l.tx_write) out.push_back(l.line);
   });
 }
@@ -235,7 +236,8 @@ void MemorySystem::clear_speculative(CoreId c, bool invalidate_written) {
 
 unsigned MemorySystem::speculative_lines(CoreId c) const {
   unsigned n = 0;
-  const_cast<L1Cache&>(*l1_[c]).for_each_valid([&](L1Line& l) {
+  const L1Cache& l1 = *l1_[c];
+  l1.for_each_valid([&](const L1Line& l) {
     if (l.speculative()) ++n;
   });
   return n;

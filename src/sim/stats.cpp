@@ -22,6 +22,7 @@ CoreStats MachineStats::total() const {
     t.cycles_nontx += c.cycles_nontx;
     t.tx_instrs += c.tx_instrs;
     t.tx_mem_ops += c.tx_mem_ops;
+    t.interp_instrs += c.interp_instrs;
     t.alp_executed += c.alp_executed;
     t.alp_acquires += c.alp_acquires;
     t.alp_timeouts += c.alp_timeouts;

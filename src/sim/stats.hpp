@@ -34,6 +34,10 @@ struct CoreStats {
   // Execution volume.
   std::uint64_t tx_instrs = 0;   // IR instructions retired inside txns
   std::uint64_t tx_mem_ops = 0;  // transactional loads/stores issued
+  // Host-interpreter volume: every IR instruction the interpreter executed,
+  // including attempts that later aborted. Feeds the host-throughput
+  // (Minstr/s) metric; does not affect any simulated result.
+  std::uint64_t interp_instrs = 0;
 
   // Instrumentation behaviour.
   std::uint64_t alp_executed = 0;        // ALPoint sites reached

@@ -17,10 +17,10 @@ class WorkloadThread final : public sim::CoreTask {
                  std::uint64_t ops)
       : sys_(sys), wl_(wl), exec_(sys, thread), thread_(thread), ops_(ops) {}
 
-  sim::Cycle step(sim::Machine&, sim::CoreId) override {
+  sim::Cycle step(sim::Machine& m, sim::CoreId) override {
     if (finished_) return 1;
     if (active_) {
-      if (!exec_.finished()) return exec_.step();
+      if (!exec_.finished()) return exec_.step(m.fuse_budget());
       wl_.on_result(thread_, done_ops_, exec_.take_result());
       active_ = false;
       ++done_ops_;
@@ -108,6 +108,11 @@ double RunResult::energy_estimate() const {
          0.2 * static_cast<double>(t.cycles_backoff);
 }
 
+double RunResult::host_minstr_per_s() const {
+  if (wall_ms <= 0.0) return 0.0;
+  return static_cast<double>(totals.interp_instrs) / (wall_ms * 1000.0);
+}
+
 RunResult run_workload(Workload& wl, const RunOptions& opt) {
   ST_CHECK(opt.threads >= 1);
   const auto wall_start = std::chrono::steady_clock::now();
@@ -129,6 +134,7 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
   rt.history_len = opt.history_len;
   rt.policy = opt.policy;
   rt.policy.addr_only = opt.scheme == runtime::Scheme::kAddrOnly;
+  rt.macrostep = opt.macrostep;
 
   runtime::TxSystem sys(rt, prog);
   wl.setup(sys);

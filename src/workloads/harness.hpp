@@ -20,6 +20,11 @@ struct RunOptions {
   unsigned max_retries = 10;
   unsigned history_len = 8;
   bool lazy_htm = false;  // commit-time conflict detection (paper §8)
+  /// Host-side interpreter macro-stepping (fused pure-register runs). Never
+  /// changes simulated results — exists so differential tests can compare
+  /// fused vs single-stepped executions in one process. The STAGTM_MACROSTEP
+  /// env knob sets the process-wide default.
+  bool macrostep = sim::Machine::default_step_fusion();
   stagger::PolicyConfig policy;  // addr_only is set automatically
   /// Override the instrumentation mode (default: what the scheme implies).
   /// kAll + kStaggered reproduces Table 3's naive instrument-everything
@@ -63,6 +68,9 @@ struct RunResult {
   /// Relative energy estimate (§6.3): executing cycles at full power,
   /// lock-wait spinning at ~30%, backoff idling at ~20%.
   double energy_estimate() const;
+  /// Host interpreter throughput in millions of IR instructions per
+  /// wall-clock second (includes aborted attempts; 0 when unmeasurable).
+  double host_minstr_per_s() const;
 };
 
 /// Runs one experiment end-to-end: build IR -> compile with the scheme's

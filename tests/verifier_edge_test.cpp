@@ -122,6 +122,29 @@ TEST(VerifierEdge, AlpointNeedsDataAddress) {
   EXPECT_NE(errs[0].find("alpoint"), std::string::npos);
 }
 
+TEST(VerifierEdge, CallWithMoreArgsThanCalleeRegisters) {
+  Module m;
+  // A register-less callee: 0 params, plain ret, never allocates a register.
+  Function* callee = empty_fn(m, "callee");
+  push_ret(callee);
+
+  Function* caller = m.add_function("caller", {nullptr});
+  caller->add_block("entry");
+  Instr call;
+  call.op = Op::Call;
+  call.callee = callee;
+  call.args = {0};  // the interpreter would write this into callee regs[0]
+  caller->entry()->instrs().push_back(call);
+  push_ret(caller);
+
+  const auto errs = verify_function(*caller);
+  ASSERT_FALSE(errs.empty());
+  bool found = false;
+  for (const auto& e : errs)
+    if (e.find("more arguments than") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
 TEST(VerifierEdge, VerifyModuleAggregatesAllFunctions) {
   Module m;
   m.add_function("bad1", {});

@@ -107,7 +107,10 @@ bool debug_cap_enabled() {
 }  // namespace
 
 void HtmSystem::mark_capacity_abort(CoreId c, Addr a) {
-  if (debug_cap_enabled()) {
+  // The trace operands (including the speculative-line count, which is an
+  // O(1) log-size read but was a full O(L1) sweep before the
+  // speculative-line log) are only evaluated when ST_DEBUG_CAP is set.
+  if (debug_cap_enabled()) [[unlikely]] {
     std::fprintf(stderr, "CAPACITY core=%u addr=%llx line=%llx set=%llu spec_lines=%u\n",
                  c, (unsigned long long)a, (unsigned long long)sim::line_addr(a),
                  (unsigned long long)(sim::line_index(a) & 127), mem_.speculative_lines(c));

@@ -1,5 +1,7 @@
 #include "sim/memory_system.hpp"
 
+#include <bit>
+
 #include "common/check.hpp"
 
 namespace st::sim {
@@ -38,7 +40,7 @@ bool MemorySystem::conflict_check(CoreId remote, Addr line, AccessKind kind,
 }
 
 void MemorySystem::dir_drop(CoreId c, Addr line) {
-  DirEntry* e = dir_.find(line);
+  DirEntry* e = dir_probe(c, line);
   if (e == nullptr) return;
   e->sharers &= ~(1u << c);
   if (e->owner == static_cast<int>(c)) e->owner = -1;
@@ -48,8 +50,10 @@ void MemorySystem::dir_drop(CoreId c, Addr line) {
 void MemorySystem::invalidate_remote(CoreId remote, Addr line, DirEntry& d) {
   if (L1Line* rl = l1_[remote]->find(line)) {
     rl->state = Coh::I;
-    rl->tx_read = rl->tx_write = false;
-    rl->pc_tag_valid = false;
+    // Conflict checks abort (and thereby clear) speculative victims before
+    // any invalidation reaches them, so this is normally a cheap no-op; it
+    // still routes through the log so the log stays exact regardless.
+    l1_[remote]->clear_line_speculative(*rl);
   }
   d.sharers &= ~(1u << remote);
   if (d.owner == static_cast<int>(remote)) d.owner = -1;
@@ -89,23 +93,28 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       ST_CHECK_MSG(check_conflicts,
                    "lazy transactional stores must use tx_store_lazy");
       // Invalidate every other copy, aborting conflicting transactions
-      // (requester wins). Snapshot the sharer mask: aborting a victim
-      // mutates directory state (it may even erase this line's entry), so
-      // the entry is re-found on every iteration.
-      const DirEntry* it = dir_.find(line);
-      const std::uint32_t sharers = (it == nullptr ? 0 : it->sharers) & ~(1u << c);
-      for (unsigned s = 0; s < cfg_.cores; ++s) {
-        if (!(sharers & (1u << s))) continue;
-        conflict_check(s, line, kind, c);
-        DirEntry* e2 = dir_.find(line);
-        if (e2 == nullptr) continue;
-        invalidate_remote(s, line, *e2);
-        if (e2->sharers == 0) dir_.erase(line);
+      // (requester wins). The sharer mask is snapshotted and iterated with
+      // bit scans; the directory entry pointer stays valid until an abort
+      // actually fires (only clear_speculative erases entries, and a LineMap
+      // erase may relocate ours), so the directory is re-probed per victim
+      // only after a conflict instead of unconditionally twice.
+      DirEntry* e = dir_probe(c, line);
+      for (std::uint32_t m = (e == nullptr ? 0 : e->sharers) & ~(1u << c);
+           m != 0; m &= m - 1) {
+        const CoreId s = static_cast<CoreId>(std::countr_zero(m));
+        if (conflict_check(s, line, kind, c)) e = dir_probe(c, line);
+        if (e == nullptr) continue;
+        invalidate_remote(s, line, *e);
+        if (e->sharers == 0) {
+          dir_.erase(line);
+          ++stats_.core(c).dir_probes;
+          e = nullptr;
+        }
       }
       out.latency += (l != nullptr) ? cfg_.dir_lat        // upgrade S/O -> M
                                     : cfg_.dir_lat + fill_latency(c, line);
     } else {  // Load miss
-      const DirEntry* itd = dir_.find(line);
+      const DirEntry* itd = dir_probe(c, line);
       const int owner = itd == nullptr ? -1 : itd->owner;
       if (owner >= 0 && owner != static_cast<int>(c)) {
         const bool conflicted =
@@ -141,7 +150,10 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       v->line = line;
       l = v;
     }
-    DirEntry& d2 = dir_.get_or_insert(line);  // re-lookup: aborts may have erased the entry
+    // Re-probe: aborts and evictions above may have erased or relocated the
+    // entry, so the install path cannot reuse an earlier pointer.
+    ++stats_.core(c).dir_probes;
+    DirEntry& d2 = dir_.get_or_insert(line);
     if (kind == AccessKind::Store) {
       l->state = Coh::M;
       d2.owner = static_cast<int>(c);
@@ -161,10 +173,7 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       l->first_pc = pc;
       l->pc_tag_valid = true;
     }
-    if (kind == AccessKind::Store)
-      l->tx_write = true;
-    else
-      l->tx_read = true;
+    l1.mark_speculative(*l, kind == AccessKind::Store);
   }
   return out;
 }
@@ -177,70 +186,62 @@ AccessOutcome MemorySystem::tx_store_lazy(CoreId c, Addr addr, unsigned size,
   // ...then privately mark the line written; the write buffer holds data.
   L1Line* l = l1_[c]->find(line_addr(addr));
   ST_CHECK(l != nullptr);
-  l->tx_write = true;
+  l1_[c]->mark_speculative(*l, /*write=*/true);
   return out;
 }
 
 Cycle MemorySystem::publish_line(CoreId c, Addr line) {
   line = line_addr(line);
   Cycle lat = cfg_.dir_lat;
-  const DirEntry* it = dir_.find(line);
-  const std::uint32_t sharers = (it == nullptr ? 0 : it->sharers) & ~(1u << c);
-  for (unsigned s = 0; s < cfg_.cores; ++s) {
-    if (!(sharers & (1u << s))) continue;
-    conflict_check(s, line, AccessKind::Store, c);
-    DirEntry* e2 = dir_.find(line);
-    if (e2 == nullptr) continue;
-    invalidate_remote(s, line, *e2);
-    if (e2->sharers == 0) dir_.erase(line);
+  // Same probe-hoisting discipline as the store-invalidate loop in access().
+  DirEntry* e = dir_probe(c, line);
+  for (std::uint32_t m = (e == nullptr ? 0 : e->sharers) & ~(1u << c);
+       m != 0; m &= m - 1) {
+    const CoreId s = static_cast<CoreId>(std::countr_zero(m));
+    if (conflict_check(s, line, AccessKind::Store, c)) e = dir_probe(c, line);
+    if (e == nullptr) continue;
+    invalidate_remote(s, line, *e);
+    if (e->sharers == 0) {
+      dir_.erase(line);
+      ++stats_.core(c).dir_probes;
+      e = nullptr;
+    }
   }
   L1Line* l = l1_[c]->find(line);
   ST_CHECK_MSG(l != nullptr, "publishing a line not in the committer's L1");
   l->state = Coh::M;
-  DirEntry& d = dir_.get_or_insert(line);
-  d.sharers |= 1u << c;
-  d.owner = static_cast<int>(c);
+  if (e == nullptr) {
+    e = &dir_.get_or_insert(line);
+    ++stats_.core(c).dir_probes;
+  }
+  e->sharers |= 1u << c;
+  e->owner = static_cast<int>(c);
   return lat;
 }
 
-std::vector<Addr> MemorySystem::speculative_written_lines(CoreId c) const {
-  std::vector<Addr> out;
-  speculative_written_lines(c, out);
-  return out;
-}
-
 void MemorySystem::speculative_written_lines(CoreId c,
-                                             std::vector<Addr>& out) const {
+                                             std::vector<Addr>& out) {
   out.clear();
-  const L1Cache& l1 = *l1_[c];
-  l1.for_each_valid([&](const L1Line& l) {
+  l1_[c]->for_each_speculative_ordered([&](const L1Line& l) {
     if (l.tx_write) out.push_back(l.line);
   });
 }
 
 void MemorySystem::clear_speculative(CoreId c, bool invalidate_written) {
-  l1_[c]->for_each_valid([&](L1Line& l) {
-    if (!l.speculative()) return;
+  L1Cache& l1 = *l1_[c];
+  auto& cs = stats_.core(c);
+  if (l1.spec_log_high_water() > cs.spec_log_hwm)
+    cs.spec_log_hwm = l1.spec_log_high_water();
+  l1.drain_speculative([&](L1Line& l) {
     if (l.tx_write && invalidate_written) {
-      const Addr line = l.line;
       l.state = Coh::I;
-      l.tx_read = l.tx_write = false;
-      l.pc_tag_valid = false;
-      dir_drop(c, line);
-      return;
+      dir_drop(c, l.line);
     }
-    l.tx_read = l.tx_write = false;
-    l.pc_tag_valid = false;
   });
 }
 
 unsigned MemorySystem::speculative_lines(CoreId c) const {
-  unsigned n = 0;
-  const L1Cache& l1 = *l1_[c];
-  l1.for_each_valid([&](const L1Line& l) {
-    if (l.speculative()) ++n;
-  });
-  return n;
+  return static_cast<unsigned>(l1_[c]->speculative_line_count());
 }
 
 std::uint32_t MemorySystem::dir_sharers(Addr line) const {
@@ -254,6 +255,7 @@ int MemorySystem::dir_owner(Addr line) const {
 }
 
 void MemorySystem::check_invariants() const {
+  for (unsigned c = 0; c < cfg_.cores; ++c) l1_[c]->check_log_invariants();
   dir_.for_each([&](Addr line, const DirEntry& d) {
     ST_CHECK_MSG(d.sharers != 0, "directory entry with no sharers");
     if (d.owner >= 0)

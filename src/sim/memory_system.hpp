@@ -89,25 +89,27 @@ class MemorySystem {
   /// upgrades the committer's copy to Modified. Returns the latency.
   Cycle publish_line(CoreId c, Addr line);
 
-  /// Line addresses currently marked tx_write in core c's L1.
-  std::vector<Addr> speculative_written_lines(CoreId c) const;
-
-  /// Allocation-free variant: clears `out` and fills it with the same lines.
-  /// Commit paths call this once per transaction, so they pass a reusable
-  /// scratch buffer instead of paying for a fresh vector every time.
-  void speculative_written_lines(CoreId c, std::vector<Addr>& out) const;
+  /// Line addresses currently marked tx_write in core c's L1, in tag-array
+  /// (set-major) order. Clears `out` and fills it; commit paths call this
+  /// once per transaction with a reusable scratch buffer. Walks the
+  /// speculative-line log (O(footprint)), which it sorts in place — hence
+  /// non-const — but simulated state is untouched.
+  void speculative_written_lines(CoreId c, std::vector<Addr>& out);
 
   /// Ends speculation for core c. With `invalidate_written`, speculatively
   /// written lines are dropped (abort); otherwise they stay valid (commit).
+  /// O(footprint): walks the speculative-line log, not the whole L1.
   void clear_speculative(CoreId c, bool invalidate_written);
 
-  /// Number of speculative lines currently held by core c.
+  /// Number of speculative lines currently held by core c. O(1).
   unsigned speculative_lines(CoreId c) const;
 
   const MemConfig& config() const { return cfg_; }
 
   // --- introspection for tests ---
   const L1Line* peek_l1(CoreId c, Addr line) const { return l1_[c]->find(line); }
+  /// Read-only view of a core's L1, for brute-force differential sweeps.
+  const L1Cache& peek_l1_cache(CoreId c) const { return *l1_[c]; }
   std::uint32_t dir_sharers(Addr line) const;
   int dir_owner(Addr line) const;
   /// Aborts the process if a directory/L1 consistency invariant is broken.
@@ -131,6 +133,12 @@ class MemorySystem {
 
   /// Removes core c's copy of `line` from the directory bookkeeping.
   void dir_drop(CoreId c, Addr line);
+
+  /// Directory lookup on behalf of core c, counted in its dir_probes stat.
+  DirEntry* dir_probe(CoreId c, Addr line) {
+    ++stats_.core(c).dir_probes;
+    return dir_.find(line);
+  }
 
   Cycle fill_latency(CoreId c, Addr line);
 

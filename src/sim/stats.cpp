@@ -30,6 +30,8 @@ CoreStats MachineStats::total() const {
     t.anchor_id_wrong += c.anchor_id_wrong;
     t.l1_hits += c.l1_hits;
     t.l1_misses += c.l1_misses;
+    t.dir_probes += c.dir_probes;
+    t.spec_log_hwm = std::max(t.spec_log_hwm, c.spec_log_hwm);  // a peak, not a volume
   }
   return t;
 }

@@ -49,6 +49,12 @@ struct CoreStats {
   // Memory system.
   std::uint64_t l1_hits = 0;
   std::uint64_t l1_misses = 0;
+  // Host-side diagnostics for the memory-system fast paths: directory
+  // lookups issued on this core's behalf, and the largest transactional
+  // footprint (speculative-line log high-water mark, in lines) seen at a
+  // commit/abort. Neither affects any simulated result.
+  std::uint64_t dir_probes = 0;
+  std::uint64_t spec_log_hwm = 0;
 
   std::uint64_t total_aborts() const {
     return aborts_conflict + aborts_capacity + aborts_explicit + aborts_glock;

@@ -93,6 +93,51 @@ TEST(L1Cache, ForEachValidVisitsExactlyValidLines) {
   EXPECT_EQ(n, 3u);
 }
 
+// The per-set MRU way hint is a pure lookup accelerator; these guard the
+// fast path against serving stale slots.
+TEST(L1Cache, MruHintSurvivesAlternatingHitsAndInvalidation) {
+  L1Cache c(tiny);
+  const Addr a = line_in_set(0, 1), b = line_in_set(0, 2);
+  for (Addr l : {a, b}) {
+    L1Line* v = c.victim(l);
+    v->line = l;
+    v->state = Coh::S;
+    c.touch(*v);
+  }
+  // Alternate hits so the hint is wrong on every other lookup.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NE(c.find(a), nullptr);
+    ASSERT_NE(c.find(b), nullptr);
+  }
+  // Invalidate the hinted (last-hit) line: the hint now points at an
+  // invalid slot and must not produce a hit.
+  c.find(b)->state = Coh::I;
+  EXPECT_EQ(c.find(b), nullptr);
+  EXPECT_EQ(c.find(a)->line, a);
+}
+
+TEST(L1Cache, MruHintDoesNotResurrectEvictedLine) {
+  L1Cache c(tiny);
+  const Addr a = line_in_set(2, 1), b = line_in_set(2, 2),
+             d = line_in_set(2, 3);
+  for (Addr l : {a, b}) {
+    L1Line* v = c.victim(l);
+    v->line = l;
+    v->state = Coh::S;
+    c.touch(*v);
+  }
+  c.touch(*c.find(a));            // hint -> a's way; b becomes LRU
+  L1Line* v = c.victim(d);        // evicts LRU b, but the slot is reused...
+  EXPECT_EQ(v->line, b);
+  *v = L1Line{};
+  v->line = d;
+  v->state = Coh::E;
+  c.touch(*v);
+  EXPECT_EQ(c.find(b), nullptr);  // ...and must no longer answer for b
+  EXPECT_EQ(c.find(d), v);
+  EXPECT_EQ(c.find(a)->line, a);
+}
+
 TEST(TagCache, MissThenHit) {
   TagCache t(tiny);
   EXPECT_FALSE(t.access(0x1000));
@@ -112,6 +157,22 @@ TEST(TagCache, EvictsLruWithinSet) {
   EXPECT_TRUE(t.contains(a));
   EXPECT_FALSE(t.contains(b));
   EXPECT_TRUE(t.contains(c2));
+}
+
+TEST(TagCache, RepeatedHitsViaMruHintKeepLruExact) {
+  TagCache t(tiny);
+  const Addr a = line_in_set(1, 0), b = line_in_set(1, 1),
+             c2 = line_in_set(1, 2);
+  t.access(a);
+  t.access(b);
+  // Hammer b through the hint path, then touch a once: b must be the more
+  // recently used line regardless of which path served the hits.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(t.access(b));
+  EXPECT_TRUE(t.access(a));
+  EXPECT_FALSE(t.access(c2));  // must evict the true LRU: b
+  EXPECT_TRUE(t.contains(a));
+  EXPECT_TRUE(t.contains(c2));
+  EXPECT_FALSE(t.contains(b));
 }
 
 TEST(TagCache, DifferentSetsDoNotInterfere) {

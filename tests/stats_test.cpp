@@ -18,6 +18,19 @@ TEST(Stats, TotalSumsAcrossCores) {
   EXPECT_EQ(t.cycles_useful_tx, 150u);
 }
 
+TEST(Stats, TotalSumsDirProbesAndMaxesLogHighWater) {
+  MachineStats s(3);
+  s.core(0).dir_probes = 10;
+  s.core(2).dir_probes = 5;
+  s.core(0).spec_log_hwm = 3;
+  s.core(1).spec_log_hwm = 9;
+  s.core(2).spec_log_hwm = 4;
+  const CoreStats t = s.total();
+  EXPECT_EQ(t.dir_probes, 15u);
+  // The high-water mark is a peak footprint, so the total takes the max.
+  EXPECT_EQ(t.spec_log_hwm, 9u);
+}
+
 TEST(Stats, TotalAbortsSumsAllCauses) {
   CoreStats c;
   c.aborts_conflict = 1;

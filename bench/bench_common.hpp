@@ -13,6 +13,8 @@
 //   STAGTM_SEED    — RNG seed (default 1)
 //   STAGTM_JOBS    — host worker threads (default: hardware concurrency)
 //   STAGTM_JSON    — if set, write machine-readable results to this path
+//   STAGTM_TRACE / STAGTM_TRACE_EVENTS / STAGTM_TRACE_CAP — event tracing
+//     (obs/trace.hpp); never changes stdout or simulated results
 #pragma once
 
 #include <chrono>
@@ -21,37 +23,18 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
 #include "workloads/runner.hpp"
 
 namespace st::bench {
 
-[[noreturn]] inline void env_fail(const char* name, const char* value,
-                                  const char* expected) {
-  std::fprintf(stderr, "%s must be %s, got \"%s\"\n", name, expected, value);
-  std::exit(2);
-}
-
-inline double env_positive_double(const char* name, double dflt) {
-  const char* s = std::getenv(name);
-  if (s == nullptr) return dflt;
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || !(v > 0))
-    env_fail(name, s, "a positive number");
-  return v;
-}
-
-inline std::uint64_t env_u64(const char* name, std::uint64_t dflt,
-                             std::uint64_t lo, std::uint64_t hi,
-                             const char* expected) {
-  const char* s = std::getenv(name);
-  if (s == nullptr) return dflt;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0' || *s == '-' || v < lo || v > hi)
-    env_fail(name, s, expected);
-  return v;
-}
+// The strict env parsers used to live here; they moved to common/env.hpp so
+// the library (runner, trace config) applies the same unset->default /
+// valid->apply / else exit(2) contract. Kept as aliases for bench code.
+using st::env_fail;
+using st::env_positive_double;
+using st::env_u64;
 
 inline double env_scale() {
   return env_positive_double("STAGTM_SCALE", 0.25);
@@ -187,14 +170,26 @@ class Sweep {
           "\", \"threads\": %u, \"cycles\": %llu, \"total_ops\": %llu, "
           "\"throughput\": %.17g, \"commits\": %llu, \"aborts\": %llu, "
           "\"aborts_per_commit\": %.17g, \"wall_ms\": %.3f, "
-          "\"instrs\": %llu, \"minstr_per_s\": %.3f}",
+          "\"instrs\": %llu, \"minstr_per_s\": %.3f, "
+          "\"abort_trace_dropped\": %llu,\n     \"totals\": {",
           r->threads, static_cast<unsigned long long>(r->cycles),
           static_cast<unsigned long long>(r->total_ops), r->throughput(),
           static_cast<unsigned long long>(r->totals.commits),
           static_cast<unsigned long long>(r->totals.total_aborts()),
           r->aborts_per_commit(), r->wall_ms,
           static_cast<unsigned long long>(r->totals.interp_instrs),
-          r->host_minstr_per_s());
+          r->host_minstr_per_s(),
+          static_cast<unsigned long long>(r->abort_trace_dropped));
+      // Full metric set, registry-driven: every counter + log2 histogram,
+      // aggregated and per core (obs/metrics.hpp).
+      obs::write_core_stats_json(f, r->totals);
+      std::fprintf(f, "},\n     \"per_core\": [");
+      for (std::size_t c = 0; c < r->per_core.size(); ++c) {
+        std::fprintf(f, "%s{", c == 0 ? "" : ", ");
+        obs::write_core_stats_json(f, r->per_core[c]);
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "]}");
     }
     // serial_wall_ms sums each run's host time: what the sweep would have
     // cost on one worker. The ratio tracks the runner's speedup per PR.

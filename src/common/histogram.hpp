@@ -1,0 +1,52 @@
+// Power-of-two-bucketed histogram for host-side metrics.
+//
+// Bucket i holds values whose bit width is i: bucket 0 is exactly 0,
+// bucket i >= 1 covers [2^(i-1), 2^i). Recording is a handful of
+// instructions (bit_width + three adds), cheap enough to run on every
+// commit/abort without gating; histograms are pure observers and never
+// feed back into any simulated decision.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace st {
+
+struct Log2Hist {
+  // 40 buckets cover values up to 2^39 (~5e11) exactly; anything larger
+  // saturates into the last bucket (sum/max stay exact).
+  static constexpr unsigned kBuckets = 40;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t samples = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  static constexpr unsigned bucket_of(std::uint64_t v) {
+    const unsigned b = static_cast<unsigned>(std::bit_width(v));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  void add(std::uint64_t v) {
+    ++buckets[bucket_of(v)];
+    ++samples;
+    sum += v;
+    if (v > max) max = v;
+  }
+
+  void merge(const Log2Hist& o) {
+    for (unsigned i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+    samples += o.samples;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+  }
+
+  double mean() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(samples);
+  }
+};
+
+}  // namespace st

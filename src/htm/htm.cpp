@@ -62,6 +62,16 @@ AbortInfo HtmSystem::abort(CoreId c, AbortCause self_cause) {
     case AbortCause::Glock: ++stats_.core(c).aborts_glock; break;
     default: ++stats_.core(c).aborts_explicit; break;
   }
+  if (trace_ != nullptr) {
+    // a32 carries the aborting core +1 so 0 can mean "self-inflicted".
+    const std::uint32_t aborter =
+        tx.info.cause == AbortCause::Conflict ? tx.info.aborter + 1 : 0;
+    trace_->emit(c, {clock_now(), obs::EventKind::kTxAbort,
+                     static_cast<std::uint8_t>(tx.info.cause),
+                     tx.info.pc_tag_valid ? tx.info.pc_tag
+                                          : std::uint16_t{0},
+                     aborter, tx.info.conflict_line});
+  }
   // Roll back: drop speculative stores, undo allocations, cancel frees.
   tx.wb.clear();
   for (Addr a : tx.allocs) heap_.dealloc(a);
@@ -85,6 +95,10 @@ bool HtmSystem::commit(CoreId c, Cycle* publish_latency) {
       lat += mem_.publish_line(c, line);
     if (publish_latency != nullptr) *publish_latency = lat;
   }
+  // Footprint shape metric: speculative lines still resident at commit
+  // (O(1): the speculative-line log length). Recorded before the log is
+  // drained below.
+  stats_.core(c).h_spec_footprint.add(mem_.speculative_lines(c));
   drain_wb(tx);
   mem_.clear_speculative(c, /*invalidate_written=*/false);
   for (Addr a : tx.deferred_frees) heap_.dealloc(a);

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/heap.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory_system.hpp"
@@ -50,6 +51,12 @@ class HtmSystem final : public sim::ConflictSink {
 
   /// Installs a time source used to timestamp abort records (optional).
   void set_clock(std::function<Cycle()> clock) { clock_ = std::move(clock); }
+  Cycle clock_now() const { return clock_ ? clock_() : 0; }
+
+  /// Optional event sink; the HTM emits tx_abort events (cause, conflicting
+  /// line, PC tag, aborter) when an abort is finalized. Null disables.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+  obs::TraceSink* trace() { return trace_; }
 
   // ---- transaction lifecycle ----
   void begin(CoreId c);
@@ -143,6 +150,7 @@ class HtmSystem final : public sim::ConflictSink {
   sim::MemorySystem& mem_;
   sim::MachineStats& stats_;
   std::function<Cycle()> clock_;
+  obs::TraceSink* trace_ = nullptr;
   std::vector<TxState> tx_;
   std::vector<Addr> publish_scratch_;  // reused across lazy commits
 };

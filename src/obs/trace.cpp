@@ -1,0 +1,136 @@
+#include "obs/trace.hpp"
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+
+namespace st::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTxBegin: return "tx_begin";
+    case EventKind::kTxCommit: return "tx_commit";
+    case EventKind::kTxAbort: return "tx_abort";
+    case EventKind::kAlpFired: return "alp_fired";
+    case EventKind::kLockAcquire: return "lock_acquire";
+    case EventKind::kLockRelease: return "lock_release";
+    case EventKind::kLockTimeout: return "lock_timeout";
+    case EventKind::kPolicyDecision: return "policy_decision";
+    case EventKind::kIrrevocable: return "irrevocable";
+    case EventKind::kBackoff: return "backoff";
+    case EventKind::kCoreDone: return "core_done";
+    case EventKind::kCount_: break;
+  }
+  return "?";
+}
+
+namespace {
+constexpr EventMask bit(EventKind k) {
+  return EventMask{1} << static_cast<unsigned>(k);
+}
+
+struct Group {
+  const char* name;
+  EventMask mask;
+};
+
+// Groups, not individual kinds: filtering exists to bound trace size by
+// subsystem, and begin without commit (say) would only break span pairing.
+constexpr Group kGroups[] = {
+    {"tx", bit(EventKind::kTxBegin) | bit(EventKind::kTxCommit) |
+               bit(EventKind::kTxAbort)},
+    {"alp", bit(EventKind::kAlpFired)},
+    {"lock", bit(EventKind::kLockAcquire) | bit(EventKind::kLockRelease) |
+                 bit(EventKind::kLockTimeout)},
+    {"policy", bit(EventKind::kPolicyDecision)},
+    {"irrevocable", bit(EventKind::kIrrevocable)},
+    {"backoff", bit(EventKind::kBackoff)},
+    {"sched", bit(EventKind::kCoreDone)},
+    {"all", kAllEvents},
+};
+}  // namespace
+
+bool parse_event_mask(const std::string& spec, EventMask* out,
+                      std::string* err) {
+  EventMask m = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = spec.substr(pos, comma - pos);
+    bool found = false;
+    for (const Group& g : kGroups) {
+      if (tok == g.name) {
+        m |= g.mask;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (err != nullptr) *err = tok;
+      return false;
+    }
+    pos = comma + 1;
+  }
+  *out = m;
+  return true;
+}
+
+TraceConfig TraceConfig::from_env() {
+  TraceConfig cfg;
+  cfg.path = env_str("STAGTM_TRACE");
+  cfg.cap_per_core = static_cast<std::size_t>(
+      env_u64("STAGTM_TRACE_CAP", 1u << 16, 16, 1u << 24,
+              "an integer in [16,16777216]"));
+  const std::string events = env_str("STAGTM_TRACE_EVENTS");
+  if (!events.empty()) {
+    std::string bad;
+    if (!parse_event_mask(events, &cfg.mask, &bad))
+      env_fail("STAGTM_TRACE_EVENTS", events.c_str(),
+               "a comma-separated list of "
+               "tx|alp|lock|policy|irrevocable|backoff|sched|all");
+  }
+  return cfg;
+}
+
+std::string uniquify_trace_path(const std::string& path, std::size_t job) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  std::string tag = std::to_string(job);
+  tag.insert(tag.begin(), '.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+TraceSink::TraceSink(unsigned cores, std::size_t cap_per_core, EventMask mask)
+    : cap_(cap_per_core), mask_(mask) {
+  ST_CHECK_MSG(cores >= 1, "TraceSink needs at least one core");
+  ST_CHECK_MSG(cap_ >= 1, "TraceSink needs capacity >= 1");
+  rings_.resize(cores);
+  for (Ring& r : rings_) r.ev.resize(cap_);
+}
+
+std::uint64_t TraceSink::stored(sim::CoreId c) const {
+  const std::uint64_t n = rings_[c].emitted;
+  return n < cap_ ? n : cap_;
+}
+
+std::uint64_t TraceSink::total_dropped() const {
+  std::uint64_t n = 0;
+  for (unsigned c = 0; c < cores(); ++c) n += dropped(c);
+  return n;
+}
+
+std::vector<TraceEvent> TraceSink::chronological(sim::CoreId c) const {
+  const Ring& r = rings_[c];
+  const std::uint64_t n = stored(c);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t start = r.emitted - n;  // oldest surviving event
+  for (std::uint64_t i = 0; i < n; ++i)
+    out.push_back(r.ev[static_cast<std::size_t>((start + i) % cap_)]);
+  return out;
+}
+
+}  // namespace st::obs

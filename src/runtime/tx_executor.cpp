@@ -63,6 +63,10 @@ class TxExecutor::SpecEnv final : public ExecEnv {
       }
       e.alp_target_ = target;
       e.lock_wait_accum_ = 0;
+      if (auto* t = e.sys_.trace())
+        t->emit(e.core_, {e.sys_.machine().now(),
+                          obs::EventKind::kAlpFired, 0, 0, alp_id,
+                          sim::line_addr(target)});
     }
 
     if (e.sys_.htm().pending_abort(e.core_)) {
@@ -84,6 +88,11 @@ class TxExecutor::SpecEnv final : public ExecEnv {
       ctx.active_anchor = 0;
       e.spinning_on_alp_ = false;
       e.sys_.policy().on_lock_timeout(ctx);
+      if (auto* t = e.sys_.trace())
+        t->emit(e.core_, {e.sys_.machine().now(),
+                          obs::EventKind::kLockTimeout, 0, 0,
+                          e.sys_.locks().lock_index(e.alp_target_),
+                          e.lock_wait_accum_});
       return {cost + r.latency, false, true};
     }
     e.spinning_on_alp_ = true;
@@ -194,6 +203,11 @@ sim::Cycle TxExecutor::begin_attempt() {
         if (lock_wait_accum_ > sys_.config().lock_timeout) {
           ++st.alp_timeouts;
           sys_.policy().on_lock_timeout(ctx);
+          if (auto* t = sys_.trace())
+            t->emit(core_, {sys_.machine().now(),
+                            obs::EventKind::kLockTimeout, 0, 0,
+                            sys_.locks().lock_index(sched_lock_key()),
+                            lock_wait_accum_});
           lock_wait_accum_ = 0;  // proceed unprotected
         } else {
           st.cycles_lock_wait += r.latency + kSpinPad;
@@ -208,6 +222,9 @@ sim::Cycle TxExecutor::begin_attempt() {
   attempt_cycles_ = 0;
   lock_wait_accum_ = 0;
   spinning_on_alp_ = false;
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxBegin, 0, 0,
+                    ab_id_, attempts_});
   ctx_->arm();
   if (sys_.config().scheme == Scheme::kStaggeredSW)
     sys_.cpc().begin_tx(core_);
@@ -266,6 +283,11 @@ sim::Cycle TxExecutor::commit_sequence() {
   st.cycles_useful_tx += attempt_cycles_;
   st.tx_instrs += spec_interp_->instrs_executed();
   st.interp_instrs += spec_interp_->instrs_executed();
+  st.h_tx_cycles.add(attempt_cycles_);
+  st.h_tx_retries.add(attempts_);
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit, 0, 0,
+                    ab_id_, attempts_});
   result_ = spec_interp_->result();
   state_ = State::kFinished;
   return cost;
@@ -342,6 +364,9 @@ sim::Cycle TxExecutor::handle_abort(AbortCause self_cause) {
   const sim::Cycle mean = sys_.config().backoff_base * attempts_;
   const sim::Cycle delay = sys_.rng(core_).next_below(2 * mean + 1);
   st.cycles_backoff += delay;
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kBackoff, 0, 0,
+                    attempts_, delay});
   state_ = State::kBeginAttempt;
   return cost + delay;
 }
@@ -353,6 +378,9 @@ sim::Cycle TxExecutor::glock_step() {
     return cas.latency + kSpinPad;
   }
   ++sys_.stats().core(core_).irrevocable_entries;
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kIrrevocable, 0,
+                    0, ab_id_, attempts_});
   attempt_cycles_ = 0;
   plain_interp_->start(func_, args_);
   state_ = State::kIrrevRunning;
@@ -370,6 +398,13 @@ sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
   st.tx_instrs += plain_interp_->instrs_executed();
   st.interp_instrs += plain_interp_->instrs_executed();
   ++st.commits;  // a serialized execution still commits its atomic block
+  st.h_tx_cycles.add(attempt_cycles_);
+  // The serial execution counts as the final "attempt" after attempts_
+  // failed speculative tries.
+  st.h_tx_retries.add(attempts_ + 1);
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit,
+                    /*irrevocable=*/1, 0, ab_id_, attempts_ + 1});
   result_ = plain_interp_->result();
   const sim::Cycle rel =
       sys_.htm().nontx_store(core_, sys_.glock_addr(), 0, 8).latency;

@@ -37,11 +37,18 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
                "TxSystem needs a compiled, finalized program");
   cfg_.mem.cores = cfg_.cores;
   machine_.set_step_fusion(cfg_.macrostep);
+  if (cfg_.trace.enabled())
+    trace_ = std::make_unique<obs::TraceSink>(
+        cfg_.cores, cfg_.trace.cap_per_core, cfg_.trace.mask);
+  machine_.set_trace(trace_.get());
   mem_ = std::make_unique<sim::MemorySystem>(cfg_.mem, stats_);
   htm_ = std::make_unique<htm::HtmSystem>(heap_, *mem_, stats_);
   htm_->set_clock([this] { return machine_.now(); });
+  htm_->set_trace(trace_.get());
   locks_ = std::make_unique<stagger::AdvisoryLockTable>(
       *htm_, cfg_.num_advisory_locks);
+  locks_->set_trace(trace_.get());
+  policy_.set_trace(trace_.get(), [this] { return machine_.now(); });
   cpc_ = std::make_unique<stagger::CpcMap>(*htm_);
   glock_ = heap_.alloc_line_aligned(heap_.setup_arena(), 8);
 
@@ -52,9 +59,12 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
   abctx_.reserve(static_cast<std::size_t>(cfg_.cores) * num_abs);
   for (unsigned c = 0; c < cfg_.cores; ++c) {
     rngs_.emplace_back(mix64(cfg_.seed) ^ (0x1234'5678ull * (c + 1)));
-    for (unsigned ab = 0; ab < num_abs; ++ab)
+    for (unsigned ab = 0; ab < num_abs; ++ab) {
       abctx_.push_back(std::make_unique<stagger::ABContext>(
           prog.tables[ab].get(), cfg_.history_len));
+      abctx_.back()->core = c;
+      abctx_.back()->ab_id = ab;
+    }
   }
 }
 

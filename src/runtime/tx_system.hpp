@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "htm/htm.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine.hpp"
 #include "stagger/advisory_locks.hpp"
 #include "stagger/cpc_map.hpp"
@@ -47,6 +48,11 @@ struct RuntimeConfig {
   /// either way (see sim::Machine::fuse_budget). Defaults to the
   /// STAGTM_MACROSTEP env knob.
   bool macrostep = sim::Machine::default_step_fusion();
+  /// Event tracing (obs/trace.hpp). Tracing is a pure observer: no sink is
+  /// even allocated unless trace.enabled(), and simulated results are
+  /// CI-enforced identical with tracing on and off. Defaults OFF here;
+  /// the workload harness fills it from STAGTM_TRACE.
+  obs::TraceConfig trace;
 };
 
 class TxSystem {
@@ -70,12 +76,16 @@ class TxSystem {
 
   sim::Addr glock_addr() const { return glock_; }
 
+  /// Null unless cfg.trace.enabled(); every subsystem emits through this.
+  obs::TraceSink* trace() { return trace_.get(); }
+
   /// Runs every installed core task to completion; returns elapsed cycles.
   sim::Cycle run();
 
  private:
   RuntimeConfig cfg_;
   stagger::CompiledProgram& prog_;
+  std::unique_ptr<obs::TraceSink> trace_;
   sim::MachineStats stats_;
   sim::Machine machine_;
   sim::Heap heap_;

@@ -1,23 +1,16 @@
 #include "sim/machine.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <queue>
-#include <string_view>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
+#include "obs/trace.hpp"
 
 namespace st::sim {
 
 bool Machine::default_step_fusion() {
-  static const bool enabled = [] {
-    const char* s = std::getenv("STAGTM_MACROSTEP");
-    if (s == nullptr || std::string_view(s) == "1") return true;
-    if (std::string_view(s) == "0") return false;
-    std::fprintf(stderr, "STAGTM_MACROSTEP must be 0 or 1, got \"%s\"\n", s);
-    std::exit(2);
-  }();
+  static const bool enabled = env_flag01("STAGTM_MACROSTEP", true);
   return enabled;
 }
 
@@ -84,7 +77,13 @@ Cycle Machine::run(Cycle max_cycles) {
     const Cycle used = c.task->step(*this, id);
     fuse_budget_ = 1;
     c.clock += used < 1 ? 1 : used;
-    if (!c.task->done()) ready.emplace(c.clock, id);
+    if (!c.task->done()) {
+      ready.emplace(c.clock, id);
+    } else if (trace_ != nullptr) {
+      // A finished task is never re-enqueued, so this fires exactly once
+      // per core per run.
+      trace_->emit(id, {c.clock, obs::EventKind::kCoreDone, 0, 0, 0, 0});
+    }
   }
   Cycle end = 0;
   for (const auto& c : cores_)

@@ -12,6 +12,10 @@
 
 #include "sim/types.hpp"
 
+namespace st::obs {
+class TraceSink;
+}
+
 namespace st::sim {
 
 class Machine;
@@ -70,6 +74,11 @@ class Machine {
   /// anything else exits with a diagnostic (latched on first use).
   static bool default_step_fusion();
 
+  /// Optional event sink (see obs/trace.hpp): the scheduler stamps a
+  /// core_done event when a task finishes, giving exported timelines an
+  /// end marker per core. Null (the default) means no tracing.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   struct Core {
     Cycle clock = 0;
@@ -78,6 +87,7 @@ class Machine {
   std::vector<Core> cores_;
   Cycle fuse_budget_ = 1;
   bool fusion_ = default_step_fusion();
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace st::sim

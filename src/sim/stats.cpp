@@ -1,6 +1,8 @@
 #include "sim/stats.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <unordered_map>
 
 namespace st::sim {
@@ -32,12 +34,19 @@ CoreStats MachineStats::total() const {
     t.l1_misses += c.l1_misses;
     t.dir_probes += c.dir_probes;
     t.spec_log_hwm = std::max(t.spec_log_hwm, c.spec_log_hwm);  // a peak, not a volume
+    t.h_tx_cycles.merge(c.h_tx_cycles);
+    t.h_tx_retries.merge(c.h_tx_retries);
+    t.h_lock_hold.merge(c.h_lock_hold);
+    t.h_spec_footprint.merge(c.h_spec_footprint);
   }
   return t;
 }
 
 void MachineStats::record_abort(const AbortRecord& r) {
-  if (abort_trace_.size() < kTraceCap) abort_trace_.push_back(r);
+  if (abort_trace_.size() < kTraceCap)
+    abort_trace_.push_back(r);
+  else
+    ++abort_trace_dropped_;
 }
 
 namespace {
@@ -60,19 +69,38 @@ double topk_fraction(const std::vector<AbortRecord>& trace, Get get,
 }
 }  // namespace
 
+double MachineStats::locality_guarded(double value) const {
+  if (abort_trace_dropped_ > 0) {
+    // Warn once per process (runner workers may hit this concurrently):
+    // the locality metrics are now estimated from the first kTraceCap
+    // aborts only, and the bench tables should not be trusted blindly.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "warning: abort trace truncated (%llu records dropped "
+                   "past the %zu-entry cap); LA/LP locality metrics are "
+                   "computed from a partial trace\n",
+                   static_cast<unsigned long long>(abort_trace_dropped_),
+                   kTraceCap);
+    }
+  }
+  return value;
+}
+
 double MachineStats::conflict_addr_locality() const {
-  return topk_fraction<Addr>(
-      abort_trace_, [](const AbortRecord& r) { return r.conflict_line; }, 1);
+  return locality_guarded(topk_fraction<Addr>(
+      abort_trace_, [](const AbortRecord& r) { return r.conflict_line; }, 1));
 }
 
 double MachineStats::conflict_pc_locality() const {
-  return topk_fraction<std::uint32_t>(
-      abort_trace_, [](const AbortRecord& r) { return r.true_first_pc; }, 3);
+  return locality_guarded(topk_fraction<std::uint32_t>(
+      abort_trace_, [](const AbortRecord& r) { return r.true_first_pc; }, 3));
 }
 
 void MachineStats::clear() {
   for (auto& c : per_core_) c = CoreStats{};
   abort_trace_.clear();
+  abort_trace_dropped_ = 0;
 }
 
 }  // namespace st::sim

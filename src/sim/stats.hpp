@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "sim/types.hpp"
 
 namespace st::sim {
@@ -56,6 +57,14 @@ struct CoreStats {
   std::uint64_t dir_probes = 0;
   std::uint64_t spec_log_hwm = 0;
 
+  // Shape metrics (log2 histograms; the obs metrics registry names them and
+  // the bench harness serializes them into STAGTM_JSON). Like every other
+  // field here they only observe the simulation — nothing reads them back.
+  Log2Hist h_tx_cycles;        // cycles per committed attempt
+  Log2Hist h_tx_retries;       // attempts needed per commit (1 = first try)
+  Log2Hist h_lock_hold;        // advisory-lock hold time, cycles
+  Log2Hist h_spec_footprint;   // speculative lines at commit
+
   std::uint64_t total_aborts() const {
     return aborts_conflict + aborts_capacity + aborts_explicit + aborts_glock;
   }
@@ -84,6 +93,10 @@ class MachineStats {
 
   void record_abort(const AbortRecord& r);
   const std::vector<AbortRecord>& abort_trace() const { return abort_trace_; }
+  /// Contention aborts that fell off the end of the capped trace. Nonzero
+  /// means LA/LP below were computed from a truncated sample (they warn on
+  /// stderr, once per process, when that happens).
+  std::uint64_t abort_trace_dropped() const { return abort_trace_dropped_; }
 
   /// Fraction of contention aborts attributable to the single most frequent
   /// conflicting line ("locality of contention addresses", Table 1 LA).
@@ -96,8 +109,11 @@ class MachineStats {
   void clear();
 
  private:
+  double locality_guarded(double value) const;
+
   std::vector<CoreStats> per_core_;
   std::vector<AbortRecord> abort_trace_;
+  std::uint64_t abort_trace_dropped_ = 0;
   static constexpr std::size_t kTraceCap = 1u << 20;
 };
 

@@ -26,6 +26,10 @@ class ABContext {
 
   const UnifiedAnchorTable* table() const { return table_; }
 
+  // --- identity (set once by TxSystem; observability labels) ---
+  sim::CoreId core = 0;  // the thread this context belongs to
+  unsigned ab_id = 0;    // the atomic block it describes
+
   // --- activation state (what the policy decided) ---
   std::uint32_t configured_anchor = 0;  // 0 = no ALP active
   sim::Addr block_address = 0;          // 0 = coarse-grain wildcard

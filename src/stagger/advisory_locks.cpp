@@ -29,7 +29,11 @@ AdvisoryLockTable::TryResult AdvisoryLockTable::try_acquire(
   if (cas.success) {
     held_[c].lock = static_cast<int>(idx);
     held_[c].contended = false;
+    held_[c].acquired_at = htm_.clock_now();
     r.acquired = true;
+    if (trace_ != nullptr)
+      trace_->emit(c, {held_[c].acquired_at, obs::EventKind::kLockAcquire,
+                       0, 0, idx, sim::line_addr(data_addr)});
   } else if (cas.observed != 0) {
     // Tell the holder someone wanted its lock (drives history decay).
     const sim::CoreId holder = static_cast<sim::CoreId>(cas.observed - 1);
@@ -44,6 +48,12 @@ sim::Cycle AdvisoryLockTable::release(sim::CoreId c) {
   if (held_[c].lock < 0) return 0;
   const unsigned idx = static_cast<unsigned>(held_[c].lock);
   const auto op = htm_.nontx_store(c, locks_[idx], 0, 8);
+  const sim::Cycle now = htm_.clock_now();
+  const sim::Cycle held_for =
+      now > held_[c].acquired_at ? now - held_[c].acquired_at : 0;
+  htm_.stats().core(c).h_lock_hold.add(held_for);
+  if (trace_ != nullptr)
+    trace_->emit(c, {now, obs::EventKind::kLockRelease, 0, 0, idx, held_for});
   held_[c].lock = -1;
   held_[c].contended = false;
   return op.latency;

@@ -41,12 +41,19 @@ class AdvisoryLockTable {
   unsigned size() const { return static_cast<unsigned>(locks_.size()); }
   sim::Addr lock_addr(unsigned idx) const { return locks_[idx]; }
 
+  /// Optional event sink: emits lock_acquire / lock_release (with hold
+  /// duration) events. The hold-time histogram in CoreStats is recorded
+  /// regardless. Null disables event emission.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   htm::HtmSystem& htm_;
+  obs::TraceSink* trace_ = nullptr;
   std::vector<sim::Addr> locks_;  // line-aligned lock words
   struct Held {
     int lock = -1;
     bool contended = false;
+    sim::Cycle acquired_at = 0;
   };
   std::vector<Held> held_;  // per core
 };

@@ -13,6 +13,9 @@
 //   training   — no pattern yet: keep gathering statistics.
 #pragma once
 
+#include <functional>
+
+#include "obs/trace.hpp"
 #include "stagger/abcontext.hpp"
 
 namespace st::stagger {
@@ -59,6 +62,14 @@ class LockingPolicy {
 
   const PolicyConfig& config() const { return cfg_; }
 
+  /// Optional event sink + time source: every on_abort classification is
+  /// emitted as a policy_decision event on the context's core.
+  void set_trace(obs::TraceSink* trace,
+                 std::function<sim::Cycle()> clock) {
+    trace_ = trace;
+    clock_ = std::move(clock);
+  }
+
  private:
   void decay(ABContext& ctx);
 
@@ -67,6 +78,8 @@ class LockingPolicy {
                         unsigned level) const;
 
   PolicyConfig cfg_;
+  obs::TraceSink* trace_ = nullptr;
+  std::function<sim::Cycle()> clock_;
 };
 
 }  // namespace st::stagger

@@ -1,8 +1,10 @@
 #include "workloads/harness.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "common/check.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/tx_executor.hpp"
 
 namespace st::workloads {
@@ -135,6 +137,8 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
   rt.policy = opt.policy;
   rt.policy.addr_only = opt.scheme == runtime::Scheme::kAddrOnly;
   rt.macrostep = opt.macrostep;
+  rt.trace = obs::TraceConfig::from_env();
+  if (opt.trace_path.has_value()) rt.trace.path = *opt.trace_path;
 
   runtime::TxSystem sys(rt, prog);
   wl.setup(sys);
@@ -150,11 +154,34 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
   r.cycles = sys.run();
   wl.verify(sys);
 
+  if (obs::TraceSink* sink = sys.trace()) {
+    // Trace output is strictly a side channel: the notice goes to stderr
+    // so bench stdout stays byte-identical with tracing on and off.
+    std::string err;
+    if (!obs::export_trace(*sink, rt.trace.path, &err))
+      std::fprintf(stderr, "STAGTM_TRACE: %s\n", err.c_str());
+    else
+      std::fprintf(stderr,
+                   "[trace: %s, %llu events, %llu dropped]\n",
+                   rt.trace.path.c_str(),
+                   static_cast<unsigned long long>([&] {
+                     std::uint64_t n = 0;
+                     for (unsigned c = 0; c < sink->cores(); ++c)
+                       n += sink->emitted(c);
+                     return n;
+                   }()),
+                   static_cast<unsigned long long>(sink->total_dropped()));
+  }
+
   r.workload = wl.name();
   r.scheme = runtime::scheme_name(opt.scheme);
   r.threads = opt.threads;
   r.total_ops = ops * opt.threads;
   r.totals = sys.stats().total();
+  r.per_core.reserve(sys.stats().cores());
+  for (unsigned c = 0; c < sys.stats().cores(); ++c)
+    r.per_core.push_back(sys.stats().core(c));
+  r.abort_trace_dropped = sys.stats().abort_trace_dropped();
   r.conflict_addr_locality = sys.stats().conflict_addr_locality();
   r.conflict_pc_locality = sys.stats().conflict_pc_locality();
   r.static_loads_stores = prog.loads_stores_analyzed;

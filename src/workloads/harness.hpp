@@ -30,6 +30,12 @@ struct RunOptions {
   /// kAll + kStaggered reproduces Table 3's naive instrument-everything
   /// comparison.
   std::optional<stagger::InstrumentMode> instrument_override;
+  /// Event-trace destination. nullopt (the default): follow the
+  /// STAGTM_TRACE env knob. An explicit value overrides the environment —
+  /// an empty string forces tracing off (differential tests), a path
+  /// forces it on (the runner points concurrent jobs at distinct files).
+  /// Tracing never changes simulated results.
+  std::optional<std::string> trace_path;
 };
 
 struct RunResult {
@@ -39,6 +45,13 @@ struct RunResult {
   sim::Cycle cycles = 0;
   std::uint64_t total_ops = 0;
   sim::CoreStats totals;
+  /// Per-core counters + histograms (totals is their merge); serialized
+  /// into STAGTM_JSON so sweeps carry the complete metric set per cell.
+  std::vector<sim::CoreStats> per_core;
+  /// Contention-abort records dropped past the bounded trace cap; nonzero
+  /// means the LA/LP locality metrics below were computed from a
+  /// truncated sample.
+  std::uint64_t abort_trace_dropped = 0;
   double conflict_addr_locality = 0;  // Table 1 "LA"
   double conflict_pc_locality = 0;    // Table 1 "LP"
   unsigned static_loads_stores = 0;   // Table 3 statics

@@ -1,27 +1,18 @@
 #include "workloads/runner.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
+#include "obs/trace.hpp"
 
 namespace st::workloads {
 
 unsigned ExperimentRunner::default_jobs() {
-  if (const char* s = std::getenv("STAGTM_JOBS")) {
-    char* end = nullptr;
-    const long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || v < 1 || v > 256) {
-      std::fprintf(stderr,
-                   "STAGTM_JOBS must be an integer in [1,256], got \"%s\"\n",
-                   s);
-      std::exit(2);
-    }
-    return static_cast<unsigned>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return static_cast<unsigned>(
+      env_u64("STAGTM_JOBS", hw == 0 ? 1 : hw, 1, 256,
+              "an integer in [1,256]"));
 }
 
 ExperimentRunner::ExperimentRunner(unsigned jobs) {
@@ -51,6 +42,16 @@ std::size_t ExperimentRunner::submit(ExperimentJob job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ST_CHECK_MSG(!stopping_, "submit on a shut-down ExperimentRunner");
+    // Concurrent jobs must not clobber one shared STAGTM_TRACE file, so a
+    // job that would follow the env knob gets the path uniquified by its
+    // id. Ids are submission order, making output names stable regardless
+    // of which worker picks the job up.
+    if (!job.options.trace_path.has_value()) {
+      static const obs::TraceConfig env_trace = obs::TraceConfig::from_env();
+      if (env_trace.enabled())
+        job.options.trace_path =
+            obs::uniquify_trace_path(env_trace.path, slots_.size());
+    }
     auto slot = std::make_unique<Slot>();
     slot->job = std::move(job);
     slots_.push_back(std::move(slot));

@@ -72,5 +72,34 @@ TEST(Stats, ClearResetsEverything) {
   EXPECT_TRUE(s.abort_trace().empty());
 }
 
+TEST(Stats, TotalMergesHistograms) {
+  MachineStats s(2);
+  s.core(0).h_tx_cycles.add(100);
+  s.core(1).h_tx_cycles.add(300);
+  s.core(1).h_spec_footprint.add(8);
+  const CoreStats t = s.total();
+  EXPECT_EQ(t.h_tx_cycles.samples, 2u);
+  EXPECT_EQ(t.h_tx_cycles.sum, 400u);
+  EXPECT_EQ(t.h_tx_cycles.max, 300u);
+  EXPECT_EQ(t.h_spec_footprint.samples, 1u);
+}
+
+TEST(Stats, AbortTraceCapCountsDropsInsteadOfSilentTruncation) {
+  // The trace is capped at 2^20 records; overflowing records used to vanish
+  // without a word. They must now be counted and reported.
+  constexpr std::size_t kCap = 1u << 20;
+  MachineStats s(1);
+  for (std::size_t i = 0; i < kCap + 7; ++i)
+    s.record_abort({0, 0x1000, 1, 1, 0});
+  EXPECT_EQ(s.abort_trace().size(), kCap);
+  EXPECT_EQ(s.abort_trace_dropped(), 7u);
+  // Locality metrics still work on the (truncated) sample.
+  EXPECT_DOUBLE_EQ(s.conflict_addr_locality(), 1.0);
+  // clear() resets the drop counter along with the trace.
+  s.clear();
+  EXPECT_EQ(s.abort_trace_dropped(), 0u);
+  EXPECT_TRUE(s.abort_trace().empty());
+}
+
 }  // namespace
 }  // namespace st::sim

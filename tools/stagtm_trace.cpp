@@ -1,0 +1,223 @@
+// stagtm-trace: summarizes a binary event trace (STAGTM_TRACE=<path> with a
+// non-.json suffix) without opening a UI. Sections:
+//   * per-core event totals (commits, aborts, drops)
+//   * abort heatmap: top conflicting lines x anchor PC tags, by abort count
+//   * per-advisory-lock hold/contention table
+//   * locking-policy decision counts
+// Typical use: reproduce a contended run with tracing on, then point this
+// at the file to see *which* lines and PCs the conflicts concentrate on —
+// the same signal the locking policy itself trains on (paper §5.2).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_export.hpp"
+
+namespace {
+
+using st::obs::EventKind;
+using st::obs::TraceData;
+using st::obs::TraceEvent;
+
+struct AbortCell {
+  std::uint64_t count = 0;
+  std::uint64_t by_cause[8] = {};
+};
+
+struct LockRow {
+  std::uint64_t acquires = 0;
+  std::uint64_t hold_total = 0;
+  std::uint64_t hold_max = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t wait_total = 0;  // cycles spent in timed-out waits
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: stagtm-trace [--top N] <trace-file>\n"
+               "  Summarizes a binary simulator trace (see obs/trace.hpp).\n"
+               "  --top N   rows in the abort heatmap (default 10)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned top = 10;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1 || v > 1000) return usage();
+      top = static_cast<unsigned>(v);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "stagtm-trace: cannot open \"%s\"\n", path);
+    return 1;
+  }
+  TraceData t;
+  std::string err;
+  const bool ok = st::obs::read_binary_trace(f, &t, &err);
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "stagtm-trace: %s: %s\n", path, err.c_str());
+    std::fprintf(stderr,
+                 "(.json traces are for Perfetto/chrome://tracing; point "
+                 "STAGTM_TRACE at a non-.json path for this tool)\n");
+    return 1;
+  }
+
+  // ---- per-core totals ----------------------------------------------------
+  std::printf("trace: %s  (%u cores, ring cap %" PRIu64 "/core)\n", path,
+              t.cores(), t.cap_per_core);
+  std::printf("\nper-core events\n");
+  std::printf("  %-4s %10s %10s %9s %9s %9s %9s\n", "core", "emitted",
+              "dropped", "begins", "commits", "aborts", "locks");
+  std::uint64_t all_emitted = 0, all_dropped = 0;
+  // Cross-core aggregations filled in the same pass.
+  std::map<std::pair<std::uint64_t, std::uint16_t>, AbortCell> heat;
+  std::map<std::uint32_t, LockRow> locks;
+  std::uint64_t decisions[8] = {};
+  std::uint64_t total_commits = 0, total_aborts = 0, irrevocable = 0;
+  std::uint64_t alp_fired = 0, backoffs = 0;
+  for (unsigned c = 0; c < t.cores(); ++c) {
+    std::uint64_t begins = 0, commits = 0, aborts = 0, lockev = 0;
+    for (const TraceEvent& e : t.per_core[c].events) {
+      switch (e.kind) {
+        case EventKind::kTxBegin: ++begins; break;
+        case EventKind::kTxCommit:
+          ++commits;
+          if (e.arg8 != 0) ++irrevocable;
+          break;
+        case EventKind::kTxAbort: {
+          ++aborts;
+          AbortCell& cell = heat[{e.a64, e.pc_tag}];
+          ++cell.count;
+          ++cell.by_cause[e.arg8 & 7];
+          break;
+        }
+        case EventKind::kAlpFired: ++alp_fired; break;
+        case EventKind::kLockAcquire: {
+          ++lockev;
+          ++locks[e.a32].acquires;
+          break;
+        }
+        case EventKind::kLockRelease: {
+          ++lockev;
+          LockRow& r = locks[e.a32];
+          r.hold_total += e.a64;
+          r.hold_max = std::max(r.hold_max, e.a64);
+          break;
+        }
+        case EventKind::kLockTimeout: {
+          ++lockev;
+          LockRow& r = locks[e.a32];
+          ++r.timeouts;
+          r.wait_total += e.a64;
+          break;
+        }
+        case EventKind::kPolicyDecision: ++decisions[e.arg8 & 7]; break;
+        case EventKind::kIrrevocable: break;  // paired kTxCommit(arg8=1)
+        case EventKind::kBackoff: ++backoffs; break;
+        default: break;
+      }
+    }
+    total_commits += commits;
+    total_aborts += aborts;
+    all_emitted += t.per_core[c].emitted;
+    all_dropped += t.dropped(c);
+    std::printf("  %-4u %10" PRIu64 " %10" PRIu64 " %9" PRIu64 " %9" PRIu64
+                " %9" PRIu64 " %9" PRIu64 "\n",
+                c, t.per_core[c].emitted, t.dropped(c), begins, commits,
+                aborts, lockev);
+  }
+  std::printf("  total emitted %" PRIu64 ", dropped %" PRIu64
+              " | commits %" PRIu64 " (irrevocable %" PRIu64
+              "), aborts %" PRIu64 ", ALPs %" PRIu64 ", backoffs %" PRIu64
+              "\n",
+              all_emitted, all_dropped, total_commits, irrevocable,
+              total_aborts, alp_fired, backoffs);
+  if (all_dropped != 0)
+    std::printf("  note: rings wrapped; counts below cover surviving (newest)"
+                " events only — raise STAGTM_TRACE_CAP for full coverage\n");
+
+  // ---- abort heatmap ------------------------------------------------------
+  std::printf("\nabort heatmap (top %u conflicting line x PC-tag pairs)\n",
+              top);
+  if (heat.empty()) {
+    std::printf("  (no aborts in trace)\n");
+  } else {
+    std::vector<std::pair<std::pair<std::uint64_t, std::uint16_t>, AbortCell>>
+        rows(heat.begin(), heat.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.count != b.second.count)
+        return a.second.count > b.second.count;
+      return a.first < b.first;  // deterministic tie-break
+    });
+    std::printf("  %-18s %-7s %8s  %s\n", "line", "pc_tag", "aborts",
+                "causes");
+    if (rows.size() > top) rows.resize(top);
+    for (const auto& [key, cell] : rows) {
+      std::printf("  0x%-16" PRIx64 " 0x%-5x %8" PRIu64 "  ", key.first,
+                  key.second, cell.count);
+      bool first = true;
+      for (unsigned cz = 0; cz < 8; ++cz) {
+        if (cell.by_cause[cz] == 0) continue;
+        std::printf("%s%s:%" PRIu64, first ? "" : " ",
+                    st::obs::abort_cause_name(static_cast<std::uint8_t>(cz)),
+                    cell.by_cause[cz]);
+        first = false;
+      }
+      std::printf("\n");
+    }
+  }
+
+  // ---- per-lock table -----------------------------------------------------
+  std::printf("\nadvisory locks (%zu seen)\n", locks.size());
+  if (locks.empty()) {
+    std::printf("  (no lock events in trace)\n");
+  } else {
+    std::printf("  %-5s %9s %12s %10s %10s %9s %12s\n", "lock", "acquires",
+                "hold_total", "hold_avg", "hold_max", "timeouts",
+                "wait_cycles");
+    for (const auto& [idx, r] : locks) {
+      const double avg =
+          r.acquires == 0 ? 0.0
+                          : static_cast<double>(r.hold_total) /
+                                static_cast<double>(r.acquires);
+      std::printf("  %-5u %9" PRIu64 " %12" PRIu64 " %10.1f %10" PRIu64
+                  " %9" PRIu64 " %12" PRIu64 "\n",
+                  idx, r.acquires, r.hold_total, avg, r.hold_max, r.timeouts,
+                  r.wait_total);
+    }
+  }
+
+  // ---- policy decisions ---------------------------------------------------
+  std::printf("\nlocking-policy decisions\n");
+  bool any = false;
+  for (unsigned d = 0; d < 8; ++d) {
+    if (decisions[d] == 0) continue;
+    std::printf("  %-10s %9" PRIu64 "\n",
+                st::obs::policy_decision_name(static_cast<std::uint8_t>(d)),
+                decisions[d]);
+    any = true;
+  }
+  if (!any) std::printf("  (none — run a Staggered/AddrOnly scheme)\n");
+  return 0;
+}

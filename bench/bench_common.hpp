@@ -171,7 +171,9 @@ class Sweep {
           "\"throughput\": %.17g, \"commits\": %llu, \"aborts\": %llu, "
           "\"aborts_per_commit\": %.17g, \"wall_ms\": %.3f, "
           "\"instrs\": %llu, \"minstr_per_s\": %.3f, "
-          "\"abort_trace_dropped\": %llu,\n     \"totals\": {",
+          "\"abort_trace_dropped\": %llu, "
+          "\"sched_mode\": \"%s\", \"sched_seed\": %llu,"
+          "\n     \"totals\": {",
           r->threads, static_cast<unsigned long long>(r->cycles),
           static_cast<unsigned long long>(r->total_ops), r->throughput(),
           static_cast<unsigned long long>(r->totals.commits),
@@ -179,7 +181,9 @@ class Sweep {
           r->aborts_per_commit(), r->wall_ms,
           static_cast<unsigned long long>(r->totals.interp_instrs),
           r->host_minstr_per_s(),
-          static_cast<unsigned long long>(r->abort_trace_dropped));
+          static_cast<unsigned long long>(r->abort_trace_dropped),
+          r->sched_mode.c_str(),
+          static_cast<unsigned long long>(r->sched_seed));
       // Full metric set, registry-driven: every counter + log2 histogram,
       // aggregated and per core (obs/metrics.hpp).
       obs::write_core_stats_json(f, r->totals);

@@ -1,0 +1,34 @@
+#include "check/check.hpp"
+
+namespace st::check {
+
+Verdict check_once(const std::string& workload,
+                   const workloads::RunOptions& base,
+                   const SchedConfig& sched) {
+  Verdict v;
+  v.sched = sched;
+
+  workloads::RunOptions opt = base;
+  opt.checked = true;
+  opt.sched = sched;
+  const workloads::RunResult run = workloads::run_workload(workload, opt);
+  v.commits = run.totals.commits;
+  v.cycles = run.cycles;
+  v.state_digest = run.state_digest;
+
+  if (!run.invariant_failure.empty()) {
+    v.stage = "invariant";
+    v.failure = run.invariant_failure;
+    return v;
+  }
+  const OracleReport rep = replay_serial(workload, base, run);
+  if (!rep.ok) {
+    v.stage = "oracle";
+    v.failure = rep.divergence;
+    return v;
+  }
+  v.ok = true;
+  return v;
+}
+
+}  // namespace st::check

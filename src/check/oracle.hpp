@@ -1,0 +1,47 @@
+// Serializability oracle.
+//
+// A checked run (RunOptions::checked) records every committed atomic block
+// — identity, arguments, return value, commit cycle — in TxSystem's
+// CommitLog. Because the discrete-event loop executes steps in exactly the
+// order their effects become visible, the log's append order IS the
+// serialization order the concurrent execution claims to be equivalent to.
+//
+// The oracle replays that claim: it builds a fresh, identically-configured
+// reference system, re-executes the committed transactions one at a time in
+// commit order (each on its original core, so per-core heap arenas line up),
+// and diffs
+//   1. every transaction's return value against the recorded one,
+//   2. the workload's address-independent state digest, and
+//   3. the workload's invariants on the replayed state.
+// Any difference is a serializability violation in the checked run (or in
+// the runtime that produced it).
+//
+// Raw final memory is deliberately NOT compared: aborted attempts
+// allocate-then-roll-back, which permutes the per-core free lists, so two
+// equivalent histories can place the same logical nodes at different
+// addresses. The digest hooks exist precisely to compare content, not
+// placement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/harness.hpp"
+
+namespace st::check {
+
+struct OracleReport {
+  bool ok = false;
+  std::size_t replayed = 0;       // commits re-executed before stopping
+  std::string divergence;         // "" when ok; first mismatch otherwise
+  std::uint64_t replay_digest = 0;
+};
+
+/// Replays `run`'s commit log serially and reports the first divergence.
+/// `opt` must be the options the checked run was produced with (the oracle
+/// strips checked/unsafe/sched itself). Requires run.commit_log != nullptr.
+OracleReport replay_serial(const std::string& workload,
+                           const workloads::RunOptions& opt,
+                           const workloads::RunResult& run);
+
+}  // namespace st::check

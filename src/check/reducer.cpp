@@ -1,0 +1,102 @@
+#include "check/reducer.hpp"
+
+namespace st::check {
+
+namespace {
+
+class Prober {
+ public:
+  Prober(const std::function<bool(const SchedConfig&)>& fails,
+         unsigned max_probes, ReduceResult& out)
+      : fails_(fails), max_probes_(max_probes), out_(out) {}
+
+  bool exhausted() const { return out_.probes >= max_probes_; }
+
+  bool probe(const SchedConfig& cfg) {
+    if (exhausted()) return false;
+    ++out_.probes;
+    const bool f = fails_(cfg);
+    out_.history.emplace_back(cfg, f);
+    return f;
+  }
+
+ private:
+  const std::function<bool(const SchedConfig&)>& fails_;
+  unsigned max_probes_;
+  ReduceResult& out_;
+};
+
+void reduce_jitter(SchedConfig& cur, sim::Cycle horizon, Prober& p) {
+  // Window bisection. An unbounded default window is first clamped to the
+  // failing run's horizon so the midpoint is meaningful.
+  if (cur.window_hi > horizon && horizon > cur.window_lo) {
+    SchedConfig t = cur;
+    t.window_hi = horizon;
+    if (p.probe(t)) cur = t;
+  }
+  while (!p.exhausted() && cur.window_hi - cur.window_lo > 64) {
+    const sim::Cycle mid =
+        cur.window_lo + (cur.window_hi - cur.window_lo) / 2;
+    SchedConfig lo_half = cur;
+    lo_half.window_hi = mid;
+    if (p.probe(lo_half)) {
+      cur = lo_half;
+      continue;
+    }
+    SchedConfig hi_half = cur;
+    hi_half.window_lo = mid;
+    if (p.probe(hi_half)) {
+      cur = hi_half;
+      continue;
+    }
+    break;  // the failure needs injections in both halves
+  }
+  // Amplitude halving.
+  while (!p.exhausted() && cur.jitter > 1) {
+    SchedConfig t = cur;
+    t.jitter = cur.jitter / 2;
+    if (!p.probe(t)) break;
+    cur = t;
+  }
+  // Period doubling (fewer injections per run).
+  while (!p.exhausted() && cur.period < (1u << 20)) {
+    SchedConfig t = cur;
+    t.period = cur.period * 2;
+    if (!p.probe(t)) break;
+    cur = t;
+  }
+}
+
+void reduce_pct(SchedConfig& cur, Prober& p) {
+  while (!p.exhausted() && cur.depth > 0) {
+    SchedConfig t = cur;
+    t.depth = cur.depth / 2;
+    if (!p.probe(t)) break;
+    cur = t;
+  }
+  while (!p.exhausted() && cur.skew > 64) {
+    SchedConfig t = cur;
+    t.skew = cur.skew / 2;
+    if (!p.probe(t)) break;
+    cur = t;
+  }
+}
+
+}  // namespace
+
+ReduceResult reduce(const SchedConfig& failing, sim::Cycle horizon,
+                    const std::function<bool(const SchedConfig&)>& fails,
+                    unsigned max_probes) {
+  ReduceResult out;
+  out.minimal = failing;
+  Prober p(fails, max_probes, out);
+  if (!p.probe(failing)) return out;  // reproduced stays false
+  out.reproduced = true;
+  if (failing.mode == SchedMode::kJitter)
+    reduce_jitter(out.minimal, horizon, p);
+  else if (failing.mode == SchedMode::kPct)
+    reduce_pct(out.minimal, p);
+  return out;
+}
+
+}  // namespace st::check

@@ -1,0 +1,43 @@
+// Failure reducer: given a perturbation config whose checked run fails,
+// shrink it to a minimal reproducer.
+//
+// The reducer is predicate-driven — it only ever asks "does this config
+// still fail?" — so the same machinery serves the real checker (predicate =
+// !check_once(...).ok) and the unit tests (predicate = synthetic). For
+// jitter configs it
+//   1. re-probes the original config (a non-reproducing input is reported,
+//      not "reduced"),
+//   2. bisects the injection window [lo, hi): keep a half iff the failure
+//      survives with injections confined to that half alone,
+//   3. halves the injection amplitude while the failure survives,
+//   4. doubles the injection period (fewer injections) while it survives.
+// For pct configs it halves the demotion depth and the skew band instead.
+// Every probe is deterministic, so the minimal config is a reproducer, not
+// a probability statement.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "check/scheduler.hpp"
+
+namespace st::check {
+
+struct ReduceResult {
+  SchedConfig minimal;
+  /// False when the input config did not fail its verification probe
+  /// (minimal is then the unchanged input).
+  bool reproduced = false;
+  unsigned probes = 0;  // predicate invocations spent
+  /// Every probed config and its outcome, in order (debugging/reporting).
+  std::vector<std::pair<SchedConfig, bool>> history;
+};
+
+/// Shrinks `failing` under `fails`. `horizon` caps the initial jitter
+/// window's upper bound (pass the failing run's cycle count; ignored for
+/// pct). At most `max_probes` predicate calls are spent.
+ReduceResult reduce(const SchedConfig& failing, sim::Cycle horizon,
+                    const std::function<bool(const SchedConfig&)>& fails,
+                    unsigned max_probes = 48);
+
+}  // namespace st::check

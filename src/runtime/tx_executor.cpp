@@ -256,12 +256,15 @@ sim::Cycle TxExecutor::run_step(sim::Cycle budget) {
 sim::Cycle TxExecutor::commit_sequence() {
   sim::Cycle cost = 0;
   // Lazy subscription: read the global fallback lock transactionally right
-  // before commit (§6 "Compiler and HTM Runtime").
-  const auto sub = sys_.htm().load(core_, sys_.glock_addr(), 8, 0);
-  cost += sub.latency;
-  attempt_cycles_ += sub.latency;
-  if (!sub.ok) return cost + handle_abort(AbortCause::None);
-  if (sub.value != 0) return cost + handle_abort(AbortCause::Glock);
+  // before commit (§6 "Compiler and HTM Runtime"). The unsafe knob models
+  // a build with the subscription compiled out (checker validation only).
+  if (!sys_.config().unsafe_skip_subscription) {
+    const auto sub = sys_.htm().load(core_, sys_.glock_addr(), 8, 0);
+    cost += sub.latency;
+    attempt_cycles_ += sub.latency;
+    if (!sub.ok) return cost + handle_abort(AbortCause::None);
+    if (sub.value != 0) return cost + handle_abort(AbortCause::Glock);
+  }
 
   const bool held = sys_.locks().holds_lock(core_);
   // "No contention on that lock" (§5.2): nobody queued on the lock AND the
@@ -289,6 +292,11 @@ sim::Cycle TxExecutor::commit_sequence() {
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit, 0, 0,
                     ab_id_, attempts_});
   result_ = spec_interp_->result();
+  if (auto* log = sys_.commit_log())
+    log->push_back({sys_.machine().now(), core_,
+                    static_cast<std::uint16_t>(ab_id_),
+                    static_cast<std::uint16_t>(attempts_),
+                    /*irrevocable=*/false, result_, args_});
   state_ = State::kFinished;
   return cost;
 }
@@ -406,6 +414,11 @@ sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit,
                     /*irrevocable=*/1, 0, ab_id_, attempts_ + 1});
   result_ = plain_interp_->result();
+  if (auto* log = sys_.commit_log())
+    log->push_back({sys_.machine().now(), core_,
+                    static_cast<std::uint16_t>(ab_id_),
+                    static_cast<std::uint16_t>(attempts_ + 1),
+                    /*irrevocable=*/true, result_, args_});
   const sim::Cycle rel =
       sys_.htm().nontx_store(core_, sys_.glock_addr(), 0, 8).latency;
   state_ = State::kFinished;

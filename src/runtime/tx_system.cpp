@@ -40,6 +40,7 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
   if (cfg_.trace.enabled())
     trace_ = std::make_unique<obs::TraceSink>(
         cfg_.cores, cfg_.trace.cap_per_core, cfg_.trace.mask);
+  if (cfg_.record_commits) commit_log_ = std::make_unique<CommitLog>();
   machine_.set_trace(trace_.get());
   mem_ = std::make_unique<sim::MemorySystem>(cfg_.mem, stats_);
   htm_ = std::make_unique<htm::HtmSystem>(heap_, *mem_, stats_);
@@ -75,6 +76,8 @@ stagger::ABContext& TxSystem::abctx(sim::CoreId c, unsigned ab_id) {
   return *abctx_[static_cast<std::size_t>(c) * num_abs + ab_id];
 }
 
-sim::Cycle TxSystem::run() { return machine_.run(); }
+sim::Cycle TxSystem::run(sim::Cycle max_cycles) {
+  return machine_.run(max_cycles);
+}
 
 }  // namespace st::runtime

@@ -32,6 +32,22 @@ const char* scheme_name(Scheme s);
 /// Matches the instrumentation the scheme requires.
 stagger::InstrumentMode instrument_mode_for(Scheme s);
 
+/// One committed atomic block, as recorded for the serializability oracle
+/// (src/check/oracle.hpp). Entries are appended in simulated commit order —
+/// the discrete-event loop executes steps in exactly the order their
+/// effects become visible, so append order IS the serialization order the
+/// oracle replays.
+struct CommitRecord {
+  sim::Cycle cycle = 0;  // commit time (reporting only; order is the log)
+  sim::CoreId core = 0;
+  std::uint16_t ab_id = 0;
+  std::uint16_t attempts = 0;
+  bool irrevocable = false;
+  std::uint64_t result = 0;
+  std::vector<std::uint64_t> args;
+};
+using CommitLog = std::vector<CommitRecord>;
+
 struct RuntimeConfig {
   unsigned cores = 16;
   sim::MemConfig mem;  // mem.cores is forced to `cores`
@@ -53,6 +69,16 @@ struct RuntimeConfig {
   /// CI-enforced identical with tracing on and off. Defaults OFF here;
   /// the workload harness fills it from STAGTM_TRACE.
   obs::TraceConfig trace;
+  /// Record every committed atomic block (identity, args, result, commit
+  /// cycle) into TxSystem's CommitLog for the serializability oracle. Off
+  /// by default: no log is allocated and the commit path is unchanged.
+  bool record_commits = false;
+  /// Checker-validation backdoor: compile out the lazy global-lock
+  /// subscription read at commit. This deliberately reintroduces the
+  /// unserializable executions lazy subscription is known to admit (Dice &
+  /// Harris) so tests can prove the oracle catches them. NEVER set outside
+  /// the checker's broken-build tests.
+  bool unsafe_skip_subscription = false;
 };
 
 class TxSystem {
@@ -79,13 +105,18 @@ class TxSystem {
   /// Null unless cfg.trace.enabled(); every subsystem emits through this.
   obs::TraceSink* trace() { return trace_.get(); }
 
-  /// Runs every installed core task to completion; returns elapsed cycles.
-  sim::Cycle run();
+  /// Null unless cfg.record_commits; the TxExecutor appends on commit.
+  CommitLog* commit_log() { return commit_log_.get(); }
+
+  /// Runs every installed core task to completion (or until `max_cycles`
+  /// of global time elapse); returns elapsed cycles.
+  sim::Cycle run(sim::Cycle max_cycles = ~sim::Cycle{0});
 
  private:
   RuntimeConfig cfg_;
   stagger::CompiledProgram& prog_;
   std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<CommitLog> commit_log_;
   sim::MachineStats stats_;
   sim::Machine machine_;
   sim::Heap heap_;

@@ -40,6 +40,7 @@ Cycle Machine::now() const {
 }
 
 Cycle Machine::run(Cycle max_cycles) {
+  if (perturb_ != nullptr) return run_perturbed(max_cycles);
   // Event queue keyed by (clock, core id): pop order is exactly the old
   // linear scan's order (smallest clock, ties by id) without rescanning
   // every core per step. Entries go stale when a task advances clocks it
@@ -84,6 +85,39 @@ Cycle Machine::run(Cycle max_cycles) {
       // per core per run.
       trace_->emit(id, {c.clock, obs::EventKind::kCoreDone, 0, 0, 0, 0});
     }
+  }
+  Cycle end = 0;
+  for (const auto& c : cores_)
+    if (c.clock > end) end = c.clock;
+  return end;
+}
+
+Cycle Machine::run_perturbed(Cycle max_cycles) {
+  // Correctness-checking mode: the installed hook picks the next core to
+  // step (possibly out of clock order) and may inject idle delays. Memory
+  // effects take place in host step order, so the chosen order IS the
+  // logical interleaving being explored; core clocks become per-core cost
+  // accounting rather than a global total order. Fusion stays off — the
+  // fuse-window argument only holds for smallest-(clock, id) pops.
+  fuse_budget_ = 1;
+  std::vector<CoreId> runnable;
+  runnable.reserve(cores_.size());
+  for (;;) {
+    runnable.clear();
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+      const Core& c = cores_[i];
+      if (c.task && !c.task->done() && c.clock < max_cycles)
+        runnable.push_back(static_cast<CoreId>(i));
+    }
+    if (runnable.empty()) break;
+    const CoreId id = perturb_->pick(*this, runnable);
+    Core& c = cores_[id];
+    ST_CHECK_MSG(c.task && !c.task->done(), "perturb picked a finished core");
+    c.clock += perturb_->delay(id, c.clock);
+    const Cycle used = c.task->step(*this, id);
+    c.clock += used < 1 ? 1 : used;
+    if (c.task->done() && trace_ != nullptr)
+      trace_->emit(id, {c.clock, obs::EventKind::kCoreDone, 0, 0, 0, 0});
   }
   Cycle end = 0;
   for (const auto& c : cores_)

@@ -20,6 +20,27 @@ namespace st::sim {
 
 class Machine;
 
+/// Schedule-perturbation hook for correctness checking (implementations in
+/// src/check/scheduler.hpp). When installed, Machine::run() switches from
+/// the default smallest-(clock, id) pop to a hook-driven loop: the hook
+/// chooses which runnable core steps next and may inject bounded idle
+/// delays before a step. Implementations must be deterministic functions of
+/// their seed so a perturbed execution is reproducible bit-for-bit. The
+/// default path (no hook) is untouched.
+class SchedPerturb {
+ public:
+  virtual ~SchedPerturb() = default;
+
+  /// Chooses the next core to step. `runnable` is non-empty and sorted by
+  /// core id; every listed core has a live task. Must return an element of
+  /// `runnable`. The default schedule would pick the smallest (clock, id).
+  virtual CoreId pick(const Machine& m, const std::vector<CoreId>& runnable) = 0;
+
+  /// Extra idle cycles injected before the chosen core's step (0 = none).
+  /// Called once per step, after pick(), with the core's current clock.
+  virtual Cycle delay(CoreId core, Cycle clock) = 0;
+};
+
 /// A resumable unit of work bound to one core. step() performs a bounded
 /// amount of work and returns the number of cycles it consumed (>= 1).
 /// A step may retire more than one instruction (a fused run), but it must
@@ -48,6 +69,14 @@ class Machine {
   Cycle run(Cycle max_cycles = ~Cycle{0});
 
   Cycle core_clock(CoreId core) const { return cores_[core].clock; }
+
+  /// True when every installed task reports done() (a bounded run() that
+  /// stopped at max_cycles leaves this false).
+  bool all_done() const {
+    for (const auto& c : cores_)
+      if (c.task && !c.task->done()) return false;
+    return true;
+  }
 
   /// Global time: the minimum clock over still-running cores, or the max
   /// over all cores once everything finished.
@@ -79,7 +108,16 @@ class Machine {
   /// end marker per core. Null (the default) means no tracing.
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
+  /// Installs (or clears, with nullptr) the schedule-perturbation hook.
+  /// The hook must outlive every subsequent run() call. While a hook is
+  /// installed, step fusion is suppressed (fuse_budget() stays 1): the
+  /// fusion window proof assumes smallest-(clock, id) pop order.
+  void set_perturb(SchedPerturb* p) { perturb_ = p; }
+  SchedPerturb* perturb() const { return perturb_; }
+
  private:
+  Cycle run_perturbed(Cycle max_cycles);
+
   struct Core {
     Cycle clock = 0;
     std::unique_ptr<CoreTask> task;
@@ -88,6 +126,7 @@ class Machine {
   Cycle fuse_budget_ = 1;
   bool fusion_ = default_step_fusion();
   obs::TraceSink* trace_ = nullptr;
+  SchedPerturb* perturb_ = nullptr;
 };
 
 }  // namespace st::sim

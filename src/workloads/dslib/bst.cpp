@@ -1,8 +1,12 @@
 #include "workloads/dslib/bst.hpp"
 
+#include <cstdio>
 #include <functional>
+#include <tuple>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace st::workloads::dslib {
 
@@ -248,6 +252,76 @@ std::int64_t host_bst_sum_and_check(const sim::Heap& heap, const BstLib& lib,
     if (r != 0) stack.emplace_back(r, k, hi);
   }
   return sum;
+}
+
+std::string host_bst_validate(const sim::Heap& heap, const BstLib& lib,
+                              sim::Addr tree, std::int64_t* sum_out,
+                              std::size_t max_nodes) {
+  const Offs o = offs(lib);
+  char buf[128];
+  const auto node_ok = [&](sim::Addr n) {
+    return heap.contains(n) && n % 8 == 0 &&
+           heap.contains(n + lib.tnode_t->size - 1);
+  };
+  if (!heap.contains(tree) || tree % 8 != 0) {
+    std::snprintf(buf, sizeof buf, "tree header 0x%llx is wild",
+                  static_cast<unsigned long long>(tree));
+    return buf;
+  }
+  std::int64_t sum = 0;
+  std::vector<std::tuple<sim::Addr, std::int64_t, std::int64_t>> stack;
+  const sim::Addr root = heap.load(tree + o.root, 8);
+  if (root != 0) stack.emplace_back(root, INT64_MIN, INT64_MAX);
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    auto [n, lo, hi] = stack.back();
+    stack.pop_back();
+    if (!node_ok(n)) {
+      std::snprintf(buf, sizeof buf, "tree node %zu: wild pointer 0x%llx",
+                    visited, static_cast<unsigned long long>(n));
+      return buf;
+    }
+    if (++visited > max_nodes) {
+      std::snprintf(buf, sizeof buf, "cycle or overlong tree (> %zu nodes)",
+                    max_nodes);
+      return buf;
+    }
+    const auto k = static_cast<std::int64_t>(heap.load(n + o.key, 8));
+    if (!(k > lo && k < hi)) {
+      std::snprintf(buf, sizeof buf,
+                    "tree node %zu: BST order violated (key %lld)", visited - 1,
+                    static_cast<long long>(k));
+      return buf;
+    }
+    sum += static_cast<std::int64_t>(heap.load(n + o.val, 8));
+    const sim::Addr l = heap.load(n + o.left, 8);
+    const sim::Addr r = heap.load(n + o.right, 8);
+    if (l != 0) stack.emplace_back(l, lo, k);
+    if (r != 0) stack.emplace_back(r, k, hi);
+  }
+  if (sum_out != nullptr) *sum_out = sum;
+  return "";
+}
+
+std::uint64_t host_bst_digest(const sim::Heap& heap, const BstLib& lib,
+                              sim::Addr tree, std::uint64_t seed) {
+  const Offs o = offs(lib);
+  std::uint64_t d = seed;
+  // Iterative in-order walk (key order ⇒ shape-independent).
+  std::vector<sim::Addr> stack;
+  sim::Addr cur = heap.load(tree + o.root, 8);
+  while (cur != 0 || !stack.empty()) {
+    while (cur != 0) {
+      stack.push_back(cur);
+      cur = heap.load(cur + o.left, 8);
+    }
+    cur = stack.back();
+    stack.pop_back();
+    d = mix64(d ^ heap.load(cur + o.key, 8)) +
+        mix64(heap.load(cur + o.val, 8));
+    cur = heap.load(cur + o.right, 8);
+  }
+  return d;
 }
 
 }  // namespace st::workloads::dslib

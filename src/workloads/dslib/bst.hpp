@@ -31,5 +31,16 @@ std::int64_t host_bst_lookup(const sim::Heap& heap, const BstLib& lib,
 /// Sum of all values (capacity conservation checks) and BST-order check.
 std::int64_t host_bst_sum_and_check(const sim::Heap& heap, const BstLib& lib,
                                     sim::Addr tree);
+/// Non-aborting structural check (Workload::check_invariants): "" when the
+/// tree is a well-formed BST, else a description of the first violation.
+/// Safe on corrupted state (wild pointers, cycles). When `sum_out` is
+/// non-null it receives the value sum over all visited nodes.
+std::string host_bst_validate(const sim::Heap& heap, const BstLib& lib,
+                              sim::Addr tree, std::int64_t* sum_out = nullptr,
+                              std::size_t max_nodes = 1u << 20);
+/// Address-independent digest over (key, val) pairs in key order (for
+/// Workload::state_digest). Call only on a tree host_bst_validate accepted.
+std::uint64_t host_bst_digest(const sim::Heap& heap, const BstLib& lib,
+                              sim::Addr tree, std::uint64_t seed);
 
 }  // namespace st::workloads::dslib

@@ -1,5 +1,7 @@
 #include "workloads/dslib/hashtable.hpp"
 
+#include <cstdio>
+
 #include "common/check.hpp"
 
 namespace st::workloads::dslib {
@@ -124,6 +126,51 @@ std::vector<std::pair<std::int64_t, std::int64_t>> host_ht_items(
     out.insert(out.end(), items.begin(), items.end());
   }
   return out;
+}
+
+std::string host_ht_validate(const sim::Heap& heap, const HashLib& lib,
+                             sim::Addr ht, std::size_t max_nodes) {
+  char buf[160];
+  if (!heap.contains(ht) || ht % 8 != 0) {
+    std::snprintf(buf, sizeof buf, "htab header 0x%llx is wild",
+                  static_cast<unsigned long long>(ht));
+    return buf;
+  }
+  const auto n = static_cast<std::int64_t>(
+      heap.load(ht + lib.htab_t->field(0).offset, 8));
+  if (n <= 0 || n > (1 << 24)) {
+    std::snprintf(buf, sizeof buf, "htab nbuckets %lld implausible",
+                  static_cast<long long>(n));
+    return buf;
+  }
+  const sim::Addr barr = heap.load(ht + lib.htab_t->field(1).offset, 8);
+  if (!heap.contains(barr) || barr % 8 != 0 ||
+      !heap.contains(barr + static_cast<sim::Addr>(n) * 8 - 1)) {
+    std::snprintf(buf, sizeof buf, "htab bucket array 0x%llx is wild",
+                  static_cast<unsigned long long>(barr));
+    return buf;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    const sim::Addr lp = heap.load(barr + static_cast<sim::Addr>(i) * 8, 8);
+    const std::string err =
+        host_list_validate(heap, lib.list, lp, /*require_sorted=*/true,
+                           max_nodes);
+    if (!err.empty()) {
+      std::snprintf(buf, sizeof buf, "bucket %lld: %s",
+                    static_cast<long long>(i), err.c_str());
+      return buf;
+    }
+    for (const auto& [key, val] : host_list_items(heap, lib.list, lp)) {
+      (void)val;
+      if (key < 0 || key % n != i) {
+        std::snprintf(buf, sizeof buf, "bucket %lld: key %lld hashes to %lld",
+                      static_cast<long long>(i), static_cast<long long>(key),
+                      static_cast<long long>(key < 0 ? -1 : key % n));
+        return buf;
+      }
+    }
+  }
+  return "";
 }
 
 }  // namespace st::workloads::dslib

@@ -34,5 +34,11 @@ std::vector<std::pair<std::int64_t, std::int64_t>> host_ht_items(
 /// Bucket index the IR uses for `key`.
 unsigned host_ht_bucket(const sim::Heap& heap, const HashLib& lib,
                         sim::Addr ht, std::int64_t key);
+/// Non-aborting structural check (Workload::check_invariants): "" when the
+/// table header and every bucket list are well-formed (sorted, no wild
+/// pointers or cycles, every key hashing to its bucket), else a description
+/// of the first violation.
+std::string host_ht_validate(const sim::Heap& heap, const HashLib& lib,
+                             sim::Addr ht, std::size_t max_nodes = 1u << 20);
 
 }  // namespace st::workloads::dslib

@@ -1,5 +1,7 @@
 #include "workloads/dslib/list.hpp"
 
+#include <cstdio>
+
 #include "common/check.hpp"
 
 namespace st::workloads::dslib {
@@ -247,6 +249,47 @@ std::size_t host_list_check_sorted(const sim::Heap& heap, const ListLib& lib,
   for (std::size_t i = 1; i < items.size(); ++i)
     ST_CHECK_MSG(items[i - 1].first < items[i].first, "list order violated");
   return items.size();
+}
+
+std::string host_list_validate(const sim::Heap& heap, const ListLib& lib,
+                               sim::Addr list, bool require_sorted,
+                               std::size_t max_nodes) {
+  const Offs o = offs(lib);
+  char buf[128];
+  const auto node_ok = [&](sim::Addr n) {
+    return heap.contains(n) && n % 8 == 0 &&
+           heap.contains(n + lib.node_t->size - 1);
+  };
+  if (!heap.contains(list) || list % 8 != 0) {
+    std::snprintf(buf, sizeof buf, "list header 0x%llx is wild",
+                  static_cast<unsigned long long>(list));
+    return buf;
+  }
+  std::int64_t prev_key = 0;
+  std::size_t n = 0;
+  for (sim::Addr cur = heap.load(list + o.head, 8); cur != 0; ++n) {
+    if (!node_ok(cur)) {
+      std::snprintf(buf, sizeof buf, "node %zu: wild pointer 0x%llx", n,
+                    static_cast<unsigned long long>(cur));
+      return buf;
+    }
+    if (n >= max_nodes) {
+      std::snprintf(buf, sizeof buf, "cycle or overlong list (> %zu nodes)",
+                    max_nodes);
+      return buf;
+    }
+    const auto key = static_cast<std::int64_t>(heap.load(cur + o.key, 8));
+    if (require_sorted && n > 0 && key <= prev_key) {
+      std::snprintf(buf, sizeof buf,
+                    "node %zu: key order violated (%lld after %lld)", n,
+                    static_cast<long long>(key),
+                    static_cast<long long>(prev_key));
+      return buf;
+    }
+    prev_key = key;
+    cur = heap.load(cur + o.next, 8);
+  }
+  return "";
 }
 
 }  // namespace st::workloads::dslib

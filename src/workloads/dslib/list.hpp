@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -38,5 +39,12 @@ std::vector<std::pair<std::int64_t, std::int64_t>> host_list_items(
 /// Checks strict key ordering; returns the length.
 std::size_t host_list_check_sorted(const sim::Heap& heap, const ListLib& lib,
                                    sim::Addr list);
+/// Non-aborting structural check for the correctness checker
+/// (Workload::check_invariants): returns "" when the list is well-formed,
+/// else a description of the first violation. Safe on corrupted state —
+/// wild pointers and cycles are reported, never chased past `max_nodes`.
+std::string host_list_validate(const sim::Heap& heap, const ListLib& lib,
+                               sim::Addr list, bool require_sorted,
+                               std::size_t max_nodes = 1u << 20);
 
 }  // namespace st::workloads::dslib

@@ -115,15 +115,7 @@ double RunResult::host_minstr_per_s() const {
   return static_cast<double>(totals.interp_instrs) / (wall_ms * 1000.0);
 }
 
-RunResult run_workload(Workload& wl, const RunOptions& opt) {
-  ST_CHECK(opt.threads >= 1);
-  const auto wall_start = std::chrono::steady_clock::now();
-  ir::Module m;
-  wl.build_ir(m);
-  const auto mode = opt.instrument_override.value_or(
-      runtime::instrument_mode_for(opt.scheme));
-  auto prog = stagger::compile(m, mode, opt.pc_tag_bits);
-
+runtime::RuntimeConfig make_runtime_config(const RunOptions& opt) {
   runtime::RuntimeConfig rt;
   rt.cores = opt.threads;
   rt.scheme = opt.scheme;
@@ -137,10 +129,29 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
   rt.policy = opt.policy;
   rt.policy.addr_only = opt.scheme == runtime::Scheme::kAddrOnly;
   rt.macrostep = opt.macrostep;
+  rt.record_commits = opt.checked;
+  rt.unsafe_skip_subscription = opt.unsafe_skip_subscription;
   rt.trace = obs::TraceConfig::from_env();
   if (opt.trace_path.has_value()) rt.trace.path = *opt.trace_path;
+  return rt;
+}
+
+RunResult run_workload(Workload& wl, const RunOptions& opt) {
+  ST_CHECK(opt.threads >= 1);
+  const auto wall_start = std::chrono::steady_clock::now();
+  ir::Module m;
+  wl.build_ir(m);
+  const auto mode = opt.instrument_override.value_or(
+      runtime::instrument_mode_for(opt.scheme));
+  auto prog = stagger::compile(m, mode, opt.pc_tag_bits);
+
+  const runtime::RuntimeConfig rt = make_runtime_config(opt);
+  const check::SchedConfig sched =
+      opt.sched.has_value() ? *opt.sched : check::SchedConfig::from_env();
+  const std::unique_ptr<sim::SchedPerturb> perturb = check::make_perturb(sched);
 
   runtime::TxSystem sys(rt, prog);
+  if (perturb != nullptr) sys.machine().set_perturb(perturb.get());
   wl.setup(sys);
 
   const auto ops = static_cast<std::uint64_t>(
@@ -151,8 +162,43 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
         t, std::make_unique<WorkloadThread>(sys, wl, t, ops));
 
   RunResult r;
-  r.cycles = sys.run();
-  wl.verify(sys);
+  bool stalled = false;
+  if (opt.checked) {
+    // A corrupted structure can trap the simulated program in a loop that
+    // never reaches another commit (e.g. a transaction walking a cyclic
+    // list), so run in bounded slices and stop when one passes without a
+    // single commit — every legitimate wait (backoff, lock timeout, glock
+    // spin behind a progressing holder) resolves far sooner.
+    constexpr sim::Cycle kStallSlice = 4'000'000;
+    sim::Cycle end = 0;
+    while (!sys.machine().all_done()) {
+      const std::uint64_t commits_before = sys.stats().total().commits;
+      end = sys.run(end + kStallSlice);
+      if (!sys.machine().all_done() &&
+          sys.stats().total().commits == commits_before) {
+        stalled = true;
+        break;
+      }
+    }
+    r.cycles = end;
+  } else {
+    r.cycles = sys.run();
+  }
+  if (opt.checked) {
+    // Checker mode: the aborting verify() would kill the process on exactly
+    // the corrupted states we want to report, so use the non-aborting hook.
+    r.invariant_failure =
+        stalled ? "no commit progress in 4000000 cycles (likely a "
+                  "non-terminating corrupted execution)"
+                : wl.check_invariants(sys);
+    if (r.invariant_failure.empty()) r.state_digest = wl.state_digest(sys);
+    if (runtime::CommitLog* log = sys.commit_log())
+      r.commit_log = std::make_shared<runtime::CommitLog>(std::move(*log));
+  } else {
+    wl.verify(sys);
+  }
+  r.sched_mode = check::sched_mode_name(sched.mode);
+  r.sched_seed = sched.enabled() ? sched.seed : 0;
 
   if (obs::TraceSink* sink = sys.trace()) {
     // Trace output is strictly a side channel: the notice goes to stderr

@@ -2,9 +2,11 @@
 // and aggregates the statistics every table/figure needs.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "check/scheduler.hpp"
 #include "workloads/workload.hpp"
 
 namespace st::workloads {
@@ -36,6 +38,17 @@ struct RunOptions {
   /// forces it on (the runner points concurrent jobs at distinct files).
   /// Tracing never changes simulated results.
   std::optional<std::string> trace_path;
+  /// Schedule perturbation (src/check). nullopt (the default): follow the
+  /// STAGTM_SCHED_* env knobs. An explicit value overrides the environment;
+  /// a config with mode kNone forces the default deterministic schedule.
+  std::optional<check::SchedConfig> sched;
+  /// Checker mode: record the commit log, compute state_digest(), and run
+  /// the non-aborting check_invariants() instead of the aborting verify().
+  bool checked = false;
+  /// Deliberately compile out the speculative path's commit-time glock
+  /// subscription (a real published-HTM-runtime bug class). Exists only so
+  /// tests can prove the checker catches it. Never set outside tests.
+  bool unsafe_skip_subscription = false;
 };
 
 struct RunResult {
@@ -60,6 +73,17 @@ struct RunResult {
   /// Host wall-clock time this run took (not simulated time; the only
   /// non-deterministic field — everything above is bit-reproducible).
   double wall_ms = 0;
+  /// Schedule-perturbation provenance ("off" when no perturbation ran).
+  std::string sched_mode = "off";
+  std::uint64_t sched_seed = 0;
+  /// Commit log (append order = serialization order); set in checked mode.
+  std::shared_ptr<const runtime::CommitLog> commit_log;
+  /// Workload::state_digest() of the final state (checked mode; 0 when the
+  /// workload does not implement it or invariants already failed).
+  std::uint64_t state_digest = 0;
+  /// First invariant violation found by Workload::check_invariants()
+  /// (checked mode; empty when all invariants hold).
+  std::string invariant_failure;
 
   double throughput() const {
     return cycles == 0 ? 0.0
@@ -91,5 +115,10 @@ struct RunResult {
 /// verify -> aggregate.
 RunResult run_workload(Workload& wl, const RunOptions& opt);
 RunResult run_workload(const std::string& name, const RunOptions& opt);
+
+/// The RuntimeConfig run_workload builds from `opt` (exposed so the
+/// serializability oracle can construct an identically-configured reference
+/// machine for serial replay).
+runtime::RuntimeConfig make_runtime_config(const RunOptions& opt);
 
 }  // namespace st::workloads

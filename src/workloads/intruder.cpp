@@ -97,6 +97,46 @@ class Intruder final : public Workload {
                  "reassembly map lost fragments");
   }
 
+  std::string check_invariants(runtime::TxSystem& sys) override {
+    std::string err = dslib::host_ht_validate(sys.heap(), lib_, map_);
+    if (!err.empty()) return "reassembly map: " + err;
+    err = dslib::host_list_validate(sys.heap(), lib_.list, inq_,
+                                    /*require_sorted=*/true);
+    if (!err.empty()) return "work queue: " + err;
+    err = dslib::host_list_validate(sys.heap(), lib_.list, outq_,
+                                    /*require_sorted=*/false);
+    if (!err.empty()) return "completion queue: " + err;
+    // Count conservation only holds on the instance that generated the ops
+    // (oracle replay instances see processed_ == 0 until they re-run them).
+    if (processed_ > 0) {
+      const auto out = dslib::host_list_items(sys.heap(), lib_.list, outq_);
+      if (out.size() != processed_)
+        return "completion queue has " + std::to_string(out.size()) +
+               " flows, expected " + std::to_string(processed_);
+      const auto items = dslib::host_ht_items(sys.heap(), lib_, map_);
+      if (items.size() != processed_ * kFrags)
+        return "reassembly map has " + std::to_string(items.size()) +
+               " fragments, expected " + std::to_string(processed_ * kFrags);
+    }
+    return "";
+  }
+
+  std::uint64_t state_digest(runtime::TxSystem& sys) override {
+    std::uint64_t d = 0x1D7B0D16ull;
+    for (const auto& [key, val] : dslib::host_ht_items(sys.heap(), lib_, map_))
+      d = mix64(d ^ static_cast<std::uint64_t>(key)) +
+          mix64(static_cast<std::uint64_t>(val));
+    for (const auto& [key, val] :
+         dslib::host_list_items(sys.heap(), lib_.list, outq_))
+      d = mix64(d ^ static_cast<std::uint64_t>(key)) +
+          mix64(static_cast<std::uint64_t>(val));
+    for (const auto& [key, val] :
+         dslib::host_list_items(sys.heap(), lib_.list, inq_))
+      d = mix64(d ^ static_cast<std::uint64_t>(key)) +
+          mix64(static_cast<std::uint64_t>(val));
+    return d;
+  }
+
  private:
   static constexpr unsigned kBuckets = 256;
   static constexpr unsigned kFrags = 4;

@@ -73,6 +73,33 @@ class ListBench final : public Workload {
     dslib::host_list_check_sorted(sys.heap(), lib_, list_);
   }
 
+  std::string check_invariants(runtime::TxSystem& sys) override {
+    std::string err = dslib::host_list_validate(
+        sys.heap(), lib_, list_, /*require_sorted=*/true, 4 * kNodes);
+    if (!err.empty()) return err;
+    std::size_t n = 0;
+    for (const auto& [key, val] : dslib::host_list_items(sys.heap(), lib_,
+                                                         list_)) {
+      ++n;
+      if (key < 1 || key > 2 * kNodes)
+        return "key " + std::to_string(key) + " out of range";
+      if (val != key)
+        return "node key " + std::to_string(key) + " has val " +
+               std::to_string(val);
+    }
+    (void)n;
+    return "";
+  }
+
+  std::uint64_t state_digest(runtime::TxSystem& sys) override {
+    std::uint64_t d = 0x115Cull;
+    for (const auto& [key, val] : dslib::host_list_items(sys.heap(), lib_,
+                                                         list_))
+      d = mix64(d ^ static_cast<std::uint64_t>(key)) +
+          mix64(static_cast<std::uint64_t>(val));
+    return d;
+  }
+
  private:
   static constexpr std::int64_t kNodes = 64;
   const char* name_;

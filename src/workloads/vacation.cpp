@@ -132,6 +132,32 @@ class Vacation final : public Workload {
     }
   }
 
+  std::string check_invariants(runtime::TxSystem& sys) override {
+    static const char* const kTables[3] = {"flights", "rooms", "cars"};
+    for (unsigned t = 0; t < 3; ++t) {
+      std::int64_t sum = 0;
+      std::string err =
+          dslib::host_bst_validate(sys.heap(), bst_, trees_[t], &sum);
+      if (!err.empty()) return std::string(kTables[t]) + ": " + err;
+      if (sum < 0)
+        return std::string(kTables[t]) + ": capacity sum went negative";
+    }
+    // Customer itineraries are a LIFO list — structurally sound, any order.
+    return dslib::host_list_validate(sys.heap(), list_, customers_,
+                                     /*require_sorted=*/false);
+  }
+
+  std::uint64_t state_digest(runtime::TxSystem& sys) override {
+    std::uint64_t d = 0x7AC47104ull;
+    for (unsigned t = 0; t < 3; ++t)
+      d = dslib::host_bst_digest(sys.heap(), bst_, trees_[t], d);
+    for (const auto& [key, val] :
+         dslib::host_list_items(sys.heap(), list_, customers_))
+      d = mix64(d ^ static_cast<std::uint64_t>(key)) +
+          mix64(static_cast<std::uint64_t>(val));
+    return d;
+  }
+
  private:
   static constexpr unsigned kRelations = 2048;
   static constexpr std::int64_t kKeyMax = 16384;

@@ -48,6 +48,25 @@ class Workload {
   /// process on violation).
   virtual void verify(runtime::TxSystem& sys) { (void)sys; }
 
+  /// Non-aborting invariant check for the schedule-exploration checker
+  /// (src/check). Returns "" when every invariant holds, else a description
+  /// of the first violation. Unlike verify(), implementations must survive
+  /// arbitrarily corrupted shared state (wild pointers, cycles) — use the
+  /// dslib host_*_validate helpers, never ST_CHECK on simulated data.
+  virtual std::string check_invariants(runtime::TxSystem& sys) {
+    (void)sys;
+    return "";
+  }
+
+  /// Address-independent digest of the final shared state (order- and
+  /// content-sensitive, allocation-address-insensitive) for the
+  /// serializability oracle's replay comparison. 0 means "not implemented" —
+  /// the oracle then compares per-transaction results only.
+  virtual std::uint64_t state_digest(runtime::TxSystem& sys) {
+    (void)sys;
+    return 0;
+  }
+
   /// Table 4 contention class, for reporting.
   virtual const char* expected_contention() const { return "?"; }
 };

@@ -1,0 +1,212 @@
+// stagtm-check — schedule-exploration correctness checker.
+//
+//   stagtm-check <workload> [--scheme htm|addronly|staggered|staggered-sw]
+//                [--threads N] [--scale F] [--seed S] [--lazy]
+//                [--max-retries N] [--mode jitter|pct] [--seeds N]
+//                [--seed0 S] [--jitter C] [--period N] [--depth D]
+//                [--window LO:HI] [--reduce] [--trace-out PATH]
+//                [--break-subscription]
+//
+// For each of N perturbation seeds: run the workload under the perturbed
+// schedule in checked mode, validate the workload's invariants, then replay
+// the commit log serially through the serializability oracle. On the first
+// failing seed, optionally shrink the perturbation to a minimal reproducer
+// (--reduce) and re-run it with event tracing into --trace-out for Perfetto
+// inspection.
+//
+// Exit status: 0 = all seeds clean, 1 = failure found, 2 = bad usage.
+// Output is deterministic (no timestamps, no wall-clock).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/reducer.hpp"
+
+namespace {
+
+using namespace st;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: stagtm-check <workload> [--scheme S] [--threads N] [--scale F]\n"
+      "                    [--seed S] [--lazy] [--max-retries N]\n"
+      "                    [--mode jitter|pct] [--seeds N] [--seed0 S]\n"
+      "                    [--jitter C] [--period N] [--depth D]\n"
+      "                    [--window LO:HI] [--reduce] [--trace-out PATH]\n"
+      "                    [--break-subscription]\n");
+  return 2;
+}
+
+bool parse_scheme(const std::string& s, runtime::Scheme* out) {
+  if (s == "htm") *out = runtime::Scheme::kBaseline;
+  else if (s == "addronly") *out = runtime::Scheme::kAddrOnly;
+  else if (s == "staggered") *out = runtime::Scheme::kStaggered;
+  else if (s == "staggered-sw") *out = runtime::Scheme::kStaggeredSW;
+  else return false;
+  return true;
+}
+
+bool parse_window(const std::string& s, sim::Cycle* lo, sim::Cycle* hi) {
+  const auto colon = s.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size())
+    return false;
+  char* end = nullptr;
+  *lo = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + colon) return false;
+  *hi = std::strtoull(s.c_str() + colon + 1, &end, 10);
+  return *end == '\0' && *lo < *hi;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string name = argv[1];
+
+  workloads::RunOptions base;
+  base.ops_scale = 0.25;
+  check::SchedConfig sched;
+  sched.mode = check::SchedMode::kJitter;
+  unsigned seeds = 25;
+  std::uint64_t seed0 = 1;
+  bool do_reduce = false;
+  std::string trace_out;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (a == "--lazy") {
+      base.lazy_htm = true;
+    } else if (a == "--reduce") {
+      do_reduce = true;
+    } else if (a == "--break-subscription") {
+      base.unsafe_skip_subscription = true;
+    } else if (a == "--scheme") {
+      const char* v = next();
+      if (!v || !parse_scheme(v, &base.scheme)) return usage();
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return usage();
+      base.threads = std::atoi(v);
+    } else if (a == "--scale") {
+      const char* v = next();
+      if (!v) return usage();
+      base.ops_scale = std::atof(v);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      base.seed = std::atoll(v);
+    } else if (a == "--max-retries") {
+      const char* v = next();
+      if (!v) return usage();
+      base.max_retries = std::atoi(v);
+    } else if (a == "--mode") {
+      const char* v = next();
+      if (!v) return usage();
+      if (std::string(v) == "jitter") sched.mode = check::SchedMode::kJitter;
+      else if (std::string(v) == "pct") sched.mode = check::SchedMode::kPct;
+      else return usage();
+    } else if (a == "--seeds") {
+      const char* v = next();
+      if (!v) return usage();
+      seeds = std::atoi(v);
+    } else if (a == "--seed0") {
+      const char* v = next();
+      if (!v) return usage();
+      seed0 = std::atoll(v);
+    } else if (a == "--jitter") {
+      const char* v = next();
+      if (!v) return usage();
+      sched.jitter = std::atoll(v);
+    } else if (a == "--period") {
+      const char* v = next();
+      if (!v) return usage();
+      sched.period = std::atoll(v);
+    } else if (a == "--depth") {
+      const char* v = next();
+      if (!v) return usage();
+      sched.depth = std::atoi(v);
+    } else if (a == "--window") {
+      const char* v = next();
+      if (!v || !parse_window(v, &sched.window_lo, &sched.window_hi))
+        return usage();
+    } else if (a == "--trace-out") {
+      const char* v = next();
+      if (!v) return usage();
+      trace_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return usage();
+    }
+  }
+  if (seeds < 1) return usage();
+  if (!workloads::make_workload(name)) {
+    std::fprintf(stderr, "unknown workload '%s' (try: stagtm list)\n",
+                 name.c_str());
+    return 2;
+  }
+  // Probes must not pick up ambient STAGTM_TRACE (observer invariance is
+  // separately guaranteed, but the checker's probes should be cheap).
+  base.trace_path = std::string();
+
+  std::printf("checking %s: %u seed(s), base %s\n", name.c_str(), seeds,
+              sched.describe().c_str());
+  for (unsigned i = 0; i < seeds; ++i) {
+    check::SchedConfig probe = sched;
+    probe.seed = seed0 + i;
+    const check::Verdict v = check::check_once(name, base, probe);
+    if (v.ok) {
+      std::printf("seed %llu: ok (%llu commits, %llu cycles)\n",
+                  static_cast<unsigned long long>(probe.seed),
+                  static_cast<unsigned long long>(v.commits),
+                  static_cast<unsigned long long>(v.cycles));
+      continue;
+    }
+    std::printf("seed %llu: FAIL [%s] %s\n",
+                static_cast<unsigned long long>(probe.seed), v.stage.c_str(),
+                v.failure.c_str());
+    check::SchedConfig repro = probe;
+    if (do_reduce) {
+      const auto fails = [&](const check::SchedConfig& c) {
+        return !check::check_once(name, base, c).ok;
+      };
+      const check::ReduceResult red =
+          check::reduce(probe, v.cycles, fails);
+      if (red.reproduced) repro = red.minimal;
+      std::printf("reduced (%u probes): %s\n", red.probes,
+                  repro.describe().c_str());
+    }
+    std::printf("reproduce: STAGTM_SCHED_MODE=%s STAGTM_SCHED_SEED=%llu",
+                check::sched_mode_name(repro.mode),
+                static_cast<unsigned long long>(repro.seed));
+    if (repro.mode == check::SchedMode::kJitter) {
+      std::printf(" STAGTM_SCHED_JITTER=%llu STAGTM_SCHED_PERIOD=%llu",
+                  static_cast<unsigned long long>(repro.jitter),
+                  static_cast<unsigned long long>(repro.period));
+      if (repro.window_hi != ~sim::Cycle{0})
+        std::printf(" STAGTM_SCHED_WINDOW=%llu:%llu",
+                    static_cast<unsigned long long>(repro.window_lo),
+                    static_cast<unsigned long long>(repro.window_hi));
+    } else {
+      std::printf(" STAGTM_SCHED_DEPTH=%u STAGTM_SCHED_SKEW=%llu",
+                  repro.depth,
+                  static_cast<unsigned long long>(repro.skew));
+    }
+    std::printf("\n");
+    if (!trace_out.empty()) {
+      workloads::RunOptions traced = base;
+      traced.checked = true;
+      traced.sched = repro;
+      traced.trace_path = trace_out;
+      (void)workloads::run_workload(name, traced);
+      std::printf("trace: %s\n", trace_out.c_str());
+    }
+    return 1;
+  }
+  std::printf("all %u seed(s) clean\n", seeds);
+  return 0;
+}

@@ -172,7 +172,8 @@ class Sweep {
           "\"aborts_per_commit\": %.17g, \"wall_ms\": %.3f, "
           "\"instrs\": %llu, \"minstr_per_s\": %.3f, "
           "\"abort_trace_dropped\": %llu, "
-          "\"sched_mode\": \"%s\", \"sched_seed\": %llu,"
+          "\"sched_mode\": \"%s\", \"sched_seed\": %llu, "
+          "\"jit_mode\": \"%s\", \"jit_threshold\": %u, \"jit_cap\": %u,"
           "\n     \"totals\": {",
           r->threads, static_cast<unsigned long long>(r->cycles),
           static_cast<unsigned long long>(r->total_ops), r->throughput(),
@@ -183,7 +184,8 @@ class Sweep {
           r->host_minstr_per_s(),
           static_cast<unsigned long long>(r->abort_trace_dropped),
           r->sched_mode.c_str(),
-          static_cast<unsigned long long>(r->sched_seed));
+          static_cast<unsigned long long>(r->sched_seed), r->jit_mode.c_str(),
+          r->jit_threshold, r->jit_cap);
       // Full metric set, registry-driven: every counter + log2 histogram,
       // aggregated and per core (obs/metrics.hpp).
       obs::write_core_stats_json(f, r->totals);

@@ -1,0 +1,363 @@
+#include "interp/jit.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "interp/interp.hpp"
+#include "interp/jit_native.hpp"
+
+namespace st::interp {
+
+using ir::DecodedInstr;
+using ir::DecOp;
+using ir::Reg;
+using ir::SbInstr;
+using ir::SbKind;
+
+const char* jit_tier_name(JitTier t) {
+  switch (t) {
+    case JitTier::kOff: return "off";
+    case JitTier::kPortable: return "portable";
+    case JitTier::kNative: return "native";
+  }
+  ST_UNREACHABLE("bad JitTier");
+}
+
+bool jit_native_available() { return kNativeJitBuilt; }
+
+JitConfig JitConfig::from_env() {
+  JitConfig cfg;
+  const std::string tier = env_str("STAGTM_JIT");
+  if (tier.empty() || tier == "portable") {
+    cfg.tier = JitTier::kPortable;
+  } else if (tier == "off") {
+    cfg.tier = JitTier::kOff;
+  } else if (tier == "native") {
+    if (!jit_native_available())
+      env_fail("STAGTM_JIT", tier.c_str(),
+               "\"off\" or \"portable\" (the native tier is not compiled in)");
+    cfg.tier = JitTier::kNative;
+  } else {
+    env_fail("STAGTM_JIT", tier.c_str(), "\"off\", \"portable\" or \"native\"");
+  }
+  cfg.threshold = static_cast<std::uint32_t>(
+      env_u64("STAGTM_JIT_THRESHOLD", cfg.threshold, 1, 1u << 30,
+              "an integer in [1,2^30]"));
+  cfg.cap = static_cast<std::uint32_t>(env_u64(
+      "STAGTM_JIT_CAP", cfg.cap, 1, 65536, "an integer in [1,65536]"));
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Portable tier: direct-threaded dispatch over SbInstr. Every handler ends
+// with the same epilogue the fused interpreter loop applies per
+// instruction: charge one cycle, and hand off to a later step (exiting at
+// this instruction's next_ip) unless the successor starts strictly inside
+// the budget. GCC/Clang get computed goto; other compilers a switch loop
+// with identical semantics.
+
+SbRun run_superblock_portable(const ir::Superblock& sb, std::uint64_t* regs,
+                              sim::Cycle budget) {
+  const SbInstr* const code = sb.code.data();
+  const SbInstr* ins = code;
+  sim::Cycle n = 0;
+  const auto S = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+
+#if defined(__GNUC__) || defined(__clang__)
+  static const void* const kDispatch[ir::kSbKindCount] = {
+      &&do_consti, &&do_mov,
+      &&do_add, &&do_sub, &&do_mul, &&do_and, &&do_or, &&do_xor,
+      &&do_shl, &&do_lshr,
+      &&do_cmpeq, &&do_cmpne, &&do_cmpslt, &&do_cmpsle, &&do_cmpsgt,
+      &&do_cmpsge, &&do_cmpult,
+      &&do_gep, &&do_gepindex, &&do_nop, &&do_br,
+      &&do_guard_taken, &&do_guard_nottaken, &&do_end,
+  };
+#define ST_SB_DISPATCH() goto* kDispatch[static_cast<unsigned>(ins->kind)]
+#define ST_SB_NEXT()                              \
+  do {                                            \
+    if (++n >= budget) return {n, ins->next_ip, false}; \
+    ins = code + ins->succ;                       \
+    ST_SB_DISPATCH();                             \
+  } while (0)
+
+  ST_SB_DISPATCH();
+do_consti:
+  regs[ins->dst] = static_cast<std::uint64_t>(ins->imm);
+  ST_SB_NEXT();
+do_mov:
+  regs[ins->dst] = regs[ins->a];
+  ST_SB_NEXT();
+do_add:
+  regs[ins->dst] = regs[ins->a] + regs[ins->b];
+  ST_SB_NEXT();
+do_sub:
+  regs[ins->dst] = regs[ins->a] - regs[ins->b];
+  ST_SB_NEXT();
+do_mul:
+  regs[ins->dst] = regs[ins->a] * regs[ins->b];
+  ST_SB_NEXT();
+do_and:
+  regs[ins->dst] = regs[ins->a] & regs[ins->b];
+  ST_SB_NEXT();
+do_or:
+  regs[ins->dst] = regs[ins->a] | regs[ins->b];
+  ST_SB_NEXT();
+do_xor:
+  regs[ins->dst] = regs[ins->a] ^ regs[ins->b];
+  ST_SB_NEXT();
+do_shl:
+  regs[ins->dst] = regs[ins->a] << (regs[ins->b] & 63);
+  ST_SB_NEXT();
+do_lshr:
+  regs[ins->dst] = regs[ins->a] >> (regs[ins->b] & 63);
+  ST_SB_NEXT();
+do_cmpeq:
+  regs[ins->dst] = regs[ins->a] == regs[ins->b];
+  ST_SB_NEXT();
+do_cmpne:
+  regs[ins->dst] = regs[ins->a] != regs[ins->b];
+  ST_SB_NEXT();
+do_cmpslt:
+  regs[ins->dst] = S(regs[ins->a]) < S(regs[ins->b]);
+  ST_SB_NEXT();
+do_cmpsle:
+  regs[ins->dst] = S(regs[ins->a]) <= S(regs[ins->b]);
+  ST_SB_NEXT();
+do_cmpsgt:
+  regs[ins->dst] = S(regs[ins->a]) > S(regs[ins->b]);
+  ST_SB_NEXT();
+do_cmpsge:
+  regs[ins->dst] = S(regs[ins->a]) >= S(regs[ins->b]);
+  ST_SB_NEXT();
+do_cmpult:
+  regs[ins->dst] = regs[ins->a] < regs[ins->b];
+  ST_SB_NEXT();
+do_gep:
+  regs[ins->dst] = regs[ins->a] + static_cast<std::uint64_t>(ins->imm);
+  ST_SB_NEXT();
+do_gepindex:
+  regs[ins->dst] =
+      regs[ins->a] + regs[ins->b] * static_cast<std::uint64_t>(ins->imm);
+  ST_SB_NEXT();
+do_nop:
+do_br:
+  ST_SB_NEXT();
+do_guard_taken:
+  if (regs[ins->a] == 0) return {n + 1, ins->off_ip, true};
+  ST_SB_NEXT();
+do_guard_nottaken:
+  if (regs[ins->a] != 0) return {n + 1, ins->off_ip, true};
+  ST_SB_NEXT();
+do_end:
+  return {n, ins->next_ip, false};  // the sentinel retires nothing
+#undef ST_SB_NEXT
+#undef ST_SB_DISPATCH
+
+#else  // switch fallback, identical semantics
+  for (;;) {
+    switch (ins->kind) {
+      case SbKind::kConstI:
+        regs[ins->dst] = static_cast<std::uint64_t>(ins->imm);
+        break;
+      case SbKind::kMov: regs[ins->dst] = regs[ins->a]; break;
+      case SbKind::kAdd: regs[ins->dst] = regs[ins->a] + regs[ins->b]; break;
+      case SbKind::kSub: regs[ins->dst] = regs[ins->a] - regs[ins->b]; break;
+      case SbKind::kMul: regs[ins->dst] = regs[ins->a] * regs[ins->b]; break;
+      case SbKind::kAnd: regs[ins->dst] = regs[ins->a] & regs[ins->b]; break;
+      case SbKind::kOr: regs[ins->dst] = regs[ins->a] | regs[ins->b]; break;
+      case SbKind::kXor: regs[ins->dst] = regs[ins->a] ^ regs[ins->b]; break;
+      case SbKind::kShl:
+        regs[ins->dst] = regs[ins->a] << (regs[ins->b] & 63);
+        break;
+      case SbKind::kLShr:
+        regs[ins->dst] = regs[ins->a] >> (regs[ins->b] & 63);
+        break;
+      case SbKind::kCmpEq: regs[ins->dst] = regs[ins->a] == regs[ins->b]; break;
+      case SbKind::kCmpNe: regs[ins->dst] = regs[ins->a] != regs[ins->b]; break;
+      case SbKind::kCmpSLt:
+        regs[ins->dst] = S(regs[ins->a]) < S(regs[ins->b]);
+        break;
+      case SbKind::kCmpSLe:
+        regs[ins->dst] = S(regs[ins->a]) <= S(regs[ins->b]);
+        break;
+      case SbKind::kCmpSGt:
+        regs[ins->dst] = S(regs[ins->a]) > S(regs[ins->b]);
+        break;
+      case SbKind::kCmpSGe:
+        regs[ins->dst] = S(regs[ins->a]) >= S(regs[ins->b]);
+        break;
+      case SbKind::kCmpULt: regs[ins->dst] = regs[ins->a] < regs[ins->b]; break;
+      case SbKind::kGep:
+        regs[ins->dst] = regs[ins->a] + static_cast<std::uint64_t>(ins->imm);
+        break;
+      case SbKind::kGepIndex:
+        regs[ins->dst] =
+            regs[ins->a] + regs[ins->b] * static_cast<std::uint64_t>(ins->imm);
+        break;
+      case SbKind::kNop:
+      case SbKind::kBr:
+        break;
+      case SbKind::kGuardTaken:
+        if (regs[ins->a] == 0) return {n + 1, ins->off_ip, true};
+        break;
+      case SbKind::kGuardNotTaken:
+        if (regs[ins->a] != 0) return {n + 1, ins->off_ip, true};
+        break;
+      case SbKind::kEnd:
+        return {n, ins->next_ip, false};
+    }
+    if (++n >= budget) return {n, ins->next_ip, false};
+    ins = code + ins->succ;
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Tiered-dispatch members of Interp (declared in interp/interp.hpp; live
+// here so interp.cpp stays the pure PR 2 interpreter).
+
+Interp::Step Interp::run_superblock(Frame& fr, ir::Superblock& sb,
+                                    sim::Cycle budget) {
+  ++sb.runs;
+  ++sb_runs_;
+  SbRun r;
+  if (sb.native != nullptr) {
+    const SbExit e =
+        reinterpret_cast<SbFn>(const_cast<void*>(sb.native))(fr.regs.data(),
+                                                             budget);
+    r.cycles = e.cycles;
+    r.exit_ip = static_cast<std::uint32_t>(e.exit_ip);
+  } else {
+    r = run_superblock_portable(sb, fr.regs.data(), budget);
+    if (r.off_trace) {
+      ++sb.off_trace_exits;
+      ++sb_off_exits_;
+    }
+  }
+  fr.ip = r.exit_ip;
+  instr_count_ += r.cycles;  // all trace ops are cost 1: retired == cycles
+  Step out;
+  out.cycles = r.cycles;
+  return out;
+}
+
+// Records a trace while executing it: each iteration both retires one
+// de-fused instruction against the live register file and appends its
+// SbInstr, so the recording pass IS a valid step (it follows exactly the
+// rules of the fused loop, with superinstructions split back into their
+// halves — the absorbed originals still sit in the code array). Recording
+// stops at a boundary or multi-cycle instruction, at the trace cap, when
+// the budget is spent, or when the path returns to its entry (a closed
+// loop); stopping a step early at a pure-instruction point is always legal
+// (equivalent to a smaller budget, which budget-sweep tests prove
+// invariant).
+Interp::Step Interp::record_step(Frame& fr, sim::Cycle budget) {
+  const std::uint32_t entry = fr.ip;
+  ir::SuperblockBuilder b(entry, jit_cfg_.cap);
+  const DecodedInstr* const code = fr.code;
+  std::uint64_t* const regs = fr.regs.data();
+  std::uint32_t ip = entry;
+  sim::Cycle n = 0;
+  const auto S = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+
+  for (;;) {
+    // Invariant: n < budget and at least one more instruction fits.
+    const DecodedInstr& ins = code[ip];
+    if (ins.is_boundary() || ins.op == DecOp::SDiv || ins.op == DecOp::SRem ||
+        b.full()) {
+      b.stop(ip);  // the caller checked the entry, so n >= 1 here
+      break;
+    }
+    std::uint32_t next = ip + 1;
+    if (ins.op > DecOp::Nop) {
+      // Superinstruction: record only its ConstI half; the absorbed binary
+      // op is still present at ip + 1 and is recorded by the next turn.
+      regs[ins.b] = static_cast<std::uint64_t>(ins.imm);
+      b.add_op(SbKind::kConstI, ins.b, ir::kNoReg, ir::kNoReg, ins.imm, next);
+    } else {
+      switch (ins.op) {
+        case DecOp::ConstI:
+          regs[ins.dst] = static_cast<std::uint64_t>(ins.imm);
+          b.add_op(SbKind::kConstI, ins.dst, ir::kNoReg, ir::kNoReg, ins.imm,
+                   next);
+          break;
+#define ST_REC_BIN(OP, KIND, EXPR)                                        \
+  case DecOp::OP:                                                         \
+    regs[ins.dst] = (EXPR);                                               \
+    b.add_op(SbKind::KIND, ins.dst, ins.a, ins.b, 0, next);               \
+    break;
+        ST_REC_BIN(Mov, kMov, regs[ins.a])
+        ST_REC_BIN(Add, kAdd, regs[ins.a] + regs[ins.b])
+        ST_REC_BIN(Sub, kSub, regs[ins.a] - regs[ins.b])
+        ST_REC_BIN(Mul, kMul, regs[ins.a] * regs[ins.b])
+        ST_REC_BIN(And, kAnd, regs[ins.a] & regs[ins.b])
+        ST_REC_BIN(Or, kOr, regs[ins.a] | regs[ins.b])
+        ST_REC_BIN(Xor, kXor, regs[ins.a] ^ regs[ins.b])
+        ST_REC_BIN(Shl, kShl, regs[ins.a] << (regs[ins.b] & 63))
+        ST_REC_BIN(LShr, kLShr, regs[ins.a] >> (regs[ins.b] & 63))
+        ST_REC_BIN(CmpEq, kCmpEq, regs[ins.a] == regs[ins.b])
+        ST_REC_BIN(CmpNe, kCmpNe, regs[ins.a] != regs[ins.b])
+        ST_REC_BIN(CmpSLt, kCmpSLt, S(regs[ins.a]) < S(regs[ins.b]))
+        ST_REC_BIN(CmpSLe, kCmpSLe, S(regs[ins.a]) <= S(regs[ins.b]))
+        ST_REC_BIN(CmpSGt, kCmpSGt, S(regs[ins.a]) > S(regs[ins.b]))
+        ST_REC_BIN(CmpSGe, kCmpSGe, S(regs[ins.a]) >= S(regs[ins.b]))
+        ST_REC_BIN(CmpULt, kCmpULt, regs[ins.a] < regs[ins.b])
+#undef ST_REC_BIN
+        case DecOp::Gep:
+          regs[ins.dst] = regs[ins.a] + static_cast<std::uint64_t>(ins.imm);
+          b.add_op(SbKind::kGep, ins.dst, ins.a, ir::kNoReg, ins.imm, next);
+          break;
+        case DecOp::GepIndex:
+          regs[ins.dst] =
+              regs[ins.a] + regs[ins.b] * static_cast<std::uint64_t>(ins.imm);
+          b.add_op(SbKind::kGepIndex, ins.dst, ins.a, ins.b, ins.imm, next);
+          break;
+        case DecOp::Nop:
+          b.add_op(SbKind::kNop, ir::kNoReg, ir::kNoReg, ir::kNoReg, 0, next);
+          break;
+        case DecOp::Br:
+          next = ins.t1;
+          b.add_br(next);
+          break;
+        case DecOp::CondBr: {
+          if (ins.t1 == ins.t2) {  // both edges agree: no guard needed
+            next = ins.t1;
+            b.add_br(next);
+          } else {
+            const bool taken = regs[ins.a] != 0;
+            next = taken ? ins.t1 : ins.t2;
+            b.add_guard(ins.a, taken, next, taken ? ins.t2 : ins.t1);
+          }
+          break;
+        }
+        default:
+          ST_UNREACHABLE("boundary opcode in trace recording");
+      }
+    }
+    ++n;
+    ip = next;
+    if (ip == entry) {  // the path closed a loop: capture the whole body
+      b.close_loop();
+      break;
+    }
+    if (n >= budget) {
+      b.stop(ip);
+      break;
+    }
+  }
+
+  fr.ip = ip;
+  instr_count_ += n;
+  std::unique_ptr<ir::Superblock> sb = b.finish();
+  if (jit_cfg_.tier == JitTier::kNative)
+    sb->native = compile_superblock_native(*fr.jit, *sb);
+  ++sb_recorded_;
+  fr.jit->install(std::move(sb));
+  Step out;
+  out.cycles = n;
+  return out;
+}
+
+}  // namespace st::interp

@@ -1,0 +1,289 @@
+#include "interp/jit_native.hpp"
+
+#if defined(ST_JIT_NATIVE)
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "interp/jit.hpp"
+
+namespace st::interp {
+namespace {
+
+// W^X executable-memory arena: code is copied into mmap'd chunks that are
+// flipped to read-write only for the duration of the copy. One arena per
+// SuperblockCache (stashed behind its opaque owner pointer), so emitted
+// code lives exactly as long as the traces that reference it.
+class NativeArena {
+ public:
+  ~NativeArena() {
+    for (const Chunk& c : chunks_) ::munmap(c.base, c.size);
+  }
+
+  /// Copies `len` bytes of code into executable memory; null on mmap/
+  /// mprotect failure (the caller then falls back to the portable tier).
+  const void* install(const std::uint8_t* code, std::size_t len) {
+    constexpr std::size_t kAlign = 16;
+    if (chunks_.empty() || chunks_.back().used + len + kAlign >
+                               chunks_.back().size) {
+      constexpr std::size_t kDefault = 256 * 1024;
+      const std::size_t page = 4096;
+      std::size_t size = len + kAlign > kDefault ? len + kAlign : kDefault;
+      size = (size + page - 1) & ~(page - 1);
+      void* base = ::mmap(nullptr, size, PROT_READ | PROT_EXEC,
+                          MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (base == MAP_FAILED) return nullptr;
+      chunks_.push_back(Chunk{static_cast<std::uint8_t*>(base), size, 0});
+    }
+    Chunk& c = chunks_.back();
+    c.used = (c.used + kAlign - 1) & ~(kAlign - 1);
+    std::uint8_t* dst = c.base + c.used;
+    if (::mprotect(c.base, c.size, PROT_READ | PROT_WRITE) != 0) return nullptr;
+    std::memcpy(dst, code, len);
+    if (::mprotect(c.base, c.size, PROT_READ | PROT_EXEC) != 0) return nullptr;
+    c.used += len;
+    return dst;
+  }
+
+ private:
+  struct Chunk {
+    std::uint8_t* base;
+    std::size_t size;
+    std::size_t used;
+  };
+  std::vector<Chunk> chunks_;
+};
+
+// Host register plan (SysV): rdi = guest register file, rsi = budget,
+// r8 = retired-instruction counter (== cycles), rax/rcx/rdx scratch.
+// SbExit is returned as {rax = cycles, rdx = exit_ip}.
+class Emitter {
+ public:
+  std::size_t pos() const { return b_.size(); }
+  const std::uint8_t* data() const { return b_.data(); }
+  std::size_t size() const { return b_.size(); }
+
+  void u8(int v) { b_.push_back(static_cast<std::uint8_t>(v)); }
+  void op(std::initializer_list<int> v) {
+    for (int x : v) u8(x);
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<int>((v >> (8 * i)) & 0xFF));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<int>((v >> (8 * i)) & 0xFF));
+  }
+  void patch_rel32(std::size_t at, std::size_t target) {
+    const auto rel = static_cast<std::uint32_t>(target - (at + 4));
+    for (int i = 0; i < 4; ++i)
+      b_[at + i] = static_cast<std::uint8_t>((rel >> (8 * i)) & 0xFF);
+  }
+
+  static std::uint32_t disp(ir::Reg r) { return static_cast<std::uint32_t>(r) * 8; }
+
+  // mov rax, [rdi + 8*r] / mov rcx, [rdi + 8*r]
+  void load_rax(ir::Reg r) { op({0x48, 0x8B, 0x87}); u32(disp(r)); }
+  void load_rcx(ir::Reg r) { op({0x48, 0x8B, 0x8F}); u32(disp(r)); }
+  // mov [rdi + 8*r], rax / rcx
+  void store_rax(ir::Reg r) { op({0x48, 0x89, 0x87}); u32(disp(r)); }
+  void store_rcx(ir::Reg r) { op({0x48, 0x89, 0x8F}); u32(disp(r)); }
+  // <op> rax, [rdi + 8*r]
+  void alu_rax_mem(int opcode, ir::Reg r) {
+    op({0x48, opcode, 0x87});
+    u32(disp(r));
+  }
+  // imul rax, [rdi + 8*r]
+  void imul_rax_mem(ir::Reg r) { op({0x48, 0x0F, 0xAF, 0x87}); u32(disp(r)); }
+  void mov_rax_imm64(std::uint64_t v) { op({0x48, 0xB8}); u64(v); }
+  void mov_rcx_imm64(std::uint64_t v) { op({0x48, 0xB9}); u64(v); }
+  void mov_edx_imm32(std::uint32_t v) { u8(0xBA); u32(v); }
+  void mov_rax_r8() { op({0x4C, 0x89, 0xC0}); }
+  void add_rax_rcx() { op({0x48, 0x01, 0xC8}); }
+  void imul_rax_rcx() { op({0x48, 0x0F, 0xAF, 0xC1}); }
+  void shift_rax_cl(bool left) { op({0x48, 0xD3, left ? 0xE0 : 0xE8}); }
+  void xor_ecx_ecx() { op({0x31, 0xC9}); }
+  void xor_r8d_r8d() { op({0x45, 0x31, 0xC0}); }
+  void cmp_rax_mem(ir::Reg r) { alu_rax_mem(0x3B, r); }
+  void setcc_cl(int cc) { op({0x0F, cc, 0xC1}); }
+  void test_rax_rax() { op({0x48, 0x85, 0xC0}); }
+  void inc_r8() { op({0x49, 0xFF, 0xC0}); }
+  void cmp_r8_rsi() { op({0x4C, 0x3B, 0xC6}); }
+  void ret() { u8(0xC3); }
+
+  /// jcc rel32 with the displacement patched later; returns the fixup site.
+  std::size_t jcc(int cc) {
+    op({0x0F, cc});
+    const std::size_t at = pos();
+    u32(0);
+    return at;
+  }
+  std::size_t jmp() {
+    u8(0xE9);
+    const std::size_t at = pos();
+    u32(0);
+    return at;
+  }
+
+ private:
+  std::vector<std::uint8_t> b_;
+};
+
+}  // namespace
+
+const void* compile_superblock_native(ir::SuperblockCache& cache,
+                                      const ir::Superblock& sb) {
+  using ir::SbInstr;
+  using ir::SbKind;
+  Emitter e;
+
+  // Exit stubs are emitted after the body; fixups remember which jcc
+  // targets which stub.
+  struct Stub {
+    std::uint32_t exit_ip;
+    bool counts_branch;  // guard off-exit: the branch itself retires
+    std::size_t offset = 0;
+  };
+  std::vector<Stub> stubs;
+  struct Fix {
+    std::size_t at;
+    std::size_t stub;
+  };
+  std::vector<Fix> fixes;
+  const auto stub_jcc = [&](int cc, std::uint32_t exit_ip, bool branch) {
+    stubs.push_back(Stub{exit_ip, branch});
+    fixes.push_back(Fix{e.jcc(cc), stubs.size() - 1});
+  };
+
+  e.xor_r8d_r8d();  // prologue: no instructions retired yet
+  const std::size_t body = e.pos();
+  std::size_t loop_fix = static_cast<std::size_t>(-1);
+
+  for (const SbInstr& ins : sb.code) {
+    switch (ins.kind) {
+      case SbKind::kConstI:
+        e.mov_rax_imm64(static_cast<std::uint64_t>(ins.imm));
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kMov:
+        e.load_rax(ins.a);
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kAdd:
+        e.load_rax(ins.a);
+        e.alu_rax_mem(0x03, ins.b);
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kSub:
+        e.load_rax(ins.a);
+        e.alu_rax_mem(0x2B, ins.b);
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kMul:
+        e.load_rax(ins.a);
+        e.imul_rax_mem(ins.b);
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kAnd:
+        e.load_rax(ins.a);
+        e.alu_rax_mem(0x23, ins.b);
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kOr:
+        e.load_rax(ins.a);
+        e.alu_rax_mem(0x0B, ins.b);
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kXor:
+        e.load_rax(ins.a);
+        e.alu_rax_mem(0x33, ins.b);
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kShl:
+      case SbKind::kLShr:
+        // shl/shr r64, cl masks cl to 6 bits in hardware — exactly the
+        // interpreter's `& 63`.
+        e.load_rax(ins.a);
+        e.load_rcx(ins.b);
+        e.shift_rax_cl(ins.kind == SbKind::kShl);
+        e.store_rax(ins.dst);
+        break;
+#define ST_NAT_CMP(KIND, CC)      \
+  case SbKind::KIND:              \
+    e.load_rax(ins.a);            \
+    e.xor_ecx_ecx();              \
+    e.cmp_rax_mem(ins.b);         \
+    e.setcc_cl(CC);               \
+    e.store_rcx(ins.dst);         \
+    break;
+      ST_NAT_CMP(kCmpEq, 0x94)   // sete
+      ST_NAT_CMP(kCmpNe, 0x95)   // setne
+      ST_NAT_CMP(kCmpSLt, 0x9C)  // setl
+      ST_NAT_CMP(kCmpSLe, 0x9E)  // setle
+      ST_NAT_CMP(kCmpSGt, 0x9F)  // setg
+      ST_NAT_CMP(kCmpSGe, 0x9D)  // setge
+      ST_NAT_CMP(kCmpULt, 0x92)  // setb
+#undef ST_NAT_CMP
+      case SbKind::kGep:
+        e.load_rax(ins.a);
+        e.mov_rcx_imm64(static_cast<std::uint64_t>(ins.imm));
+        e.add_rax_rcx();
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kGepIndex:
+        e.load_rax(ins.b);
+        e.mov_rcx_imm64(static_cast<std::uint64_t>(ins.imm));
+        e.imul_rax_rcx();
+        e.alu_rax_mem(0x03, ins.a);  // add rax, [rdi + 8*a]
+        e.store_rax(ins.dst);
+        break;
+      case SbKind::kNop:
+      case SbKind::kBr:
+        break;
+      case SbKind::kGuardTaken:
+      case SbKind::kGuardNotTaken:
+        e.load_rax(ins.a);
+        e.test_rax_rax();
+        // kGuardTaken exits when the value is zero (jz), kGuardNotTaken
+        // when it is nonzero (jnz); the off-exit retires the branch.
+        stub_jcc(ins.kind == SbKind::kGuardTaken ? 0x84 : 0x85, ins.off_ip,
+                 /*counts_branch=*/true);
+        break;
+      case SbKind::kEnd:
+        // Sentinel: retires nothing, exits at its resume point.
+        e.mov_rax_r8();
+        e.mov_edx_imm32(ins.next_ip);
+        e.ret();
+        continue;  // no budget epilogue
+    }
+    // Shared epilogue: charge one cycle; exit at next_ip unless the
+    // successor starts strictly inside the budget.
+    e.inc_r8();
+    e.cmp_r8_rsi();
+    stub_jcc(0x83, ins.next_ip, /*counts_branch=*/false);  // jae
+    if (ins.succ == 0) loop_fix = e.jmp();  // loop-closing tail
+  }
+  if (loop_fix != static_cast<std::size_t>(-1)) e.patch_rel32(loop_fix, body);
+
+  for (Stub& s : stubs) {
+    s.offset = e.pos();
+    if (s.counts_branch) e.inc_r8();
+    e.mov_rax_r8();
+    e.mov_edx_imm32(s.exit_ip);
+    e.ret();
+  }
+  for (const Fix& f : fixes) e.patch_rel32(f.at, stubs[f.stub].offset);
+
+  auto arena = std::static_pointer_cast<NativeArena>(cache.native_arena());
+  if (!arena) {
+    arena = std::make_shared<NativeArena>();
+    cache.set_native_arena(arena);
+  }
+  return arena->install(e.data(), e.size());
+}
+
+}  // namespace st::interp
+
+#endif  // ST_JIT_NATIVE

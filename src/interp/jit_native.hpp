@@ -1,0 +1,38 @@
+// x86-64 template backend for superblock traces (built when the CMake
+// option STAGTM_NATIVE_JIT is ON and the host is x86-64; otherwise the
+// stub below keeps every caller compiling and jit_native_available()
+// reports false).
+//
+// The emitted code is a line-for-line transliteration of the portable
+// dispatcher in jit.cpp: guest registers stay in memory (the frame's
+// register file, passed in rdi), every instruction template ends with the
+// same inc-counter / compare-against-budget / conditional-exit epilogue,
+// and guards branch to stubs that report the off-trace target. Keeping
+// guest state memory-resident makes deoptimization trivial — a side exit
+// only has to return {cycles, exit_ip}; the register file is already
+// current — at the cost of one load/store pair per operand, which is still
+// far cheaper than interpreter dispatch.
+#pragma once
+
+#include "ir/superblock.hpp"
+
+namespace st::interp {
+
+#if defined(ST_JIT_NATIVE)
+inline constexpr bool kNativeJitBuilt = true;
+
+/// Compiles `sb` to machine code owned by `cache`'s native arena (created
+/// on first use) and returns the entry point (an SbFn), or null when the
+/// trace cannot be compiled.
+const void* compile_superblock_native(ir::SuperblockCache& cache,
+                                      const ir::Superblock& sb);
+#else
+inline constexpr bool kNativeJitBuilt = false;
+
+inline const void* compile_superblock_native(ir::SuperblockCache&,
+                                             const ir::Superblock&) {
+  return nullptr;
+}
+#endif
+
+}  // namespace st::interp

@@ -36,13 +36,18 @@ BasicBlock* Function::add_block(std::string name) {
   blocks_.push_back(std::make_unique<BasicBlock>(
       this, std::move(name), static_cast<unsigned>(blocks_.size())));
   rpo_valid_ = false;
-  decoded_.reset();
+  invalidate_decoded();
   return blocks_.back().get();
 }
 
 const DecodedCode& Function::decoded() const {
   if (!decoded_) decoded_ = std::make_unique<DecodedCode>(decode_function(*this));
   return *decoded_;
+}
+
+SuperblockCache& Function::jit_cache() const {
+  if (!jit_) jit_ = std::make_unique<SuperblockCache>(decoded().code.size());
+  return *jit_;
 }
 
 Reg Function::fresh_reg() {

@@ -9,6 +9,7 @@
 
 #include "ir/decode.hpp"
 #include "ir/instr.hpp"
+#include "ir/superblock.hpp"
 
 namespace st::ir {
 
@@ -85,7 +86,17 @@ class Function {
   /// must finish before the first execution — the compile pipeline
   /// guarantees this by finalizing last.
   const DecodedCode& decoded() const;
-  void invalidate_decoded() const { decoded_.reset(); }
+  void invalidate_decoded() const {
+    decoded_.reset();
+    jit_.reset();  // traces index the decoded layout; never outlive it
+  }
+
+  /// Per-function superblock trace cache (ir/superblock.hpp): step-entry
+  /// profile counters plus installed traces over the current decoded()
+  /// layout. Built lazily by the first JIT-enabled interpreter; dropped
+  /// together with decoded() whenever the code changes, so a stale trace
+  /// can never execute.
+  SuperblockCache& jit_cache() const;
 
  private:
   std::string name_;
@@ -96,6 +107,7 @@ class Function {
   mutable std::vector<BasicBlock*> rpo_cache_;
   mutable bool rpo_valid_ = false;
   mutable std::unique_ptr<DecodedCode> decoded_;
+  mutable std::unique_ptr<SuperblockCache> jit_;
 };
 
 }  // namespace st::ir

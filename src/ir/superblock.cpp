@@ -1,0 +1,69 @@
+#include "ir/superblock.hpp"
+
+#include "common/check.hpp"
+
+namespace st::ir {
+
+SuperblockBuilder::SuperblockBuilder(std::uint32_t entry_ip, std::uint32_t cap)
+    : sb_(std::make_unique<Superblock>()), cap_(cap) {
+  sb_->entry_ip = entry_ip;
+  sb_->code.reserve(cap > 256 ? 256 : cap);
+}
+
+void SuperblockBuilder::add_op(SbKind k, Reg dst, Reg a, Reg b,
+                               std::int64_t imm, std::uint32_t next_ip) {
+  ST_CHECK_MSG(!closed_, "superblock: add_op after close");
+  SbInstr ins;
+  ins.kind = k;
+  ins.dst = dst;
+  ins.a = a;
+  ins.b = b;
+  ins.imm = imm;
+  ins.next_ip = next_ip;
+  ins.succ = static_cast<std::uint32_t>(sb_->code.size()) + 1;
+  sb_->code.push_back(ins);
+}
+
+void SuperblockBuilder::add_br(std::uint32_t target) {
+  add_op(SbKind::kBr, kNoReg, kNoReg, kNoReg, 0, target);
+}
+
+void SuperblockBuilder::add_guard(Reg a, bool taken, std::uint32_t on_ip,
+                                  std::uint32_t off_ip) {
+  add_op(taken ? SbKind::kGuardTaken : SbKind::kGuardNotTaken, kNoReg, a,
+         kNoReg, 0, on_ip);
+  sb_->code.back().off_ip = off_ip;
+}
+
+void SuperblockBuilder::close_loop() {
+  ST_CHECK_MSG(!closed_ && !sb_->code.empty(), "superblock: bad close_loop");
+  sb_->code.back().succ = 0;
+  sb_->loops = true;
+  closed_ = true;
+}
+
+void SuperblockBuilder::stop(std::uint32_t resume_ip) {
+  ST_CHECK_MSG(!closed_, "superblock: stop after close");
+  SbInstr end;
+  end.kind = SbKind::kEnd;
+  end.next_ip = resume_ip;
+  end.succ = static_cast<std::uint32_t>(sb_->code.size());
+  sb_->code.push_back(end);
+  closed_ = true;
+}
+
+std::unique_ptr<Superblock> SuperblockBuilder::finish() {
+  ST_CHECK_MSG(closed_, "superblock: finish before close_loop/stop");
+  return std::move(sb_);
+}
+
+void SuperblockCache::install(std::unique_ptr<Superblock> sb) {
+  std::uint32_t ip = sb->entry_ip;
+  ST_CHECK_MSG(ip < sites_.size() && !sites_[ip].sb,
+               "superblock: duplicate install");
+  recorded_instrs_ += sb->code.size();
+  ++compiled_;
+  sites_[ip].sb = std::move(sb);
+}
+
+}  // namespace st::ir

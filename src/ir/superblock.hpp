@@ -1,0 +1,153 @@
+// Superblock traces: guarded linear re-layouts of hot decoded code.
+//
+// A Superblock is a trace of *pure cost-1* instructions recorded from one
+// actual execution, starting at a hot step-entry index of a DecodedCode and
+// chained across the branch directions that execution took. Conditional
+// branches become guards: when a later execution takes the other direction,
+// the trace side-exits back to the interpreter with the architectural state
+// fully materialized (the trace executors operate directly on the frame's
+// register file, so deopt is just "report the decoded-code index to resume
+// at, and the cycles consumed so far").
+//
+// Traces deliberately contain only the single-cycle pure opcodes. Boundary
+// instructions (memory, allocator, advisory locks, call/ret — every point
+// through which simulated cores interact) and the multi-cycle SDiv/SRem end
+// a trace, so a superblock can never cross a transactional event, and
+// within a trace retired-instruction count == cycle count. Decode-time
+// superinstructions (ir/decode.hpp) are re-expanded while recording — the
+// absorbed instructions are still present in the code array — which makes a
+// trace execution bit-identical to single-stepping by construction: the
+// executors apply the same per-instruction "start strictly inside the
+// budget" rule the fused interpreter loop applies (interp/interp.hpp).
+//
+// Layering: this header knows nothing about execution tiers. The recorder
+// and the portable/native executors live in src/interp (interp/jit.hpp);
+// the native backend parks its executable-memory arena here via an opaque
+// owner so code lifetime is tied to the cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/instr.hpp"
+
+namespace st::ir {
+
+/// Trace opcodes: the pure cost-1 subset of DecOp, de-fused, plus the
+/// control kinds a linear trace needs.
+enum class SbKind : std::uint8_t {
+  kConstI, kMov,
+  kAdd, kSub, kMul, kAnd, kOr, kXor, kShl, kLShr,
+  kCmpEq, kCmpNe, kCmpSLt, kCmpSLe, kCmpSGt, kCmpSGe, kCmpULt,
+  kGep, kGepIndex, kNop,
+  kBr,            // unconditional: costs one cycle, target fixed at record
+  kGuardTaken,    // CondBr recorded taken: side-exit when regs[a] == 0
+  kGuardNotTaken, // CondBr recorded not taken: side-exit when regs[a] != 0
+  kEnd,           // sentinel: exit at next_ip without consuming a cycle
+};
+inline constexpr unsigned kSbKindCount = static_cast<unsigned>(SbKind::kEnd) + 1;
+
+/// One trace instruction. `next_ip` is the decoded-code index the program
+/// is at *after* this instruction retires (the budget-exhaustion exit
+/// target); `off_ip` is the unexpected branch direction for guards; `succ`
+/// is the index of the next trace instruction (i + 1 except for a loop
+///-closing tail, which points back to 0).
+struct SbInstr {
+  SbKind kind = SbKind::kEnd;
+  Reg dst = kNoReg;
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  std::int64_t imm = 0;
+  std::uint32_t next_ip = 0;
+  std::uint32_t off_ip = 0;
+  std::uint32_t succ = 0;
+};
+
+struct Superblock {
+  std::uint32_t entry_ip = 0;
+  /// True when the trace tail jumps back to its own head (a whole loop
+  /// body captured as one trace).
+  bool loops = false;
+  /// Trace body; ends with a kEnd sentinel unless `loops`.
+  std::vector<SbInstr> code;
+  /// Native entry point (interp/jit_native.hpp's SbFn) or null when only
+  /// the portable tier executes this trace. The code's storage is owned by
+  /// the cache's native arena.
+  const void* native = nullptr;
+  /// Host-side introspection (never feeds back into simulated results).
+  std::uint64_t runs = 0;
+  std::uint64_t off_trace_exits = 0;
+};
+
+/// Incremental trace constructor driven by the recording interpreter.
+class SuperblockBuilder {
+ public:
+  SuperblockBuilder(std::uint32_t entry_ip, std::uint32_t cap);
+
+  std::uint32_t entry_ip() const { return sb_->entry_ip; }
+  std::size_t size() const { return sb_->code.size(); }
+  bool full() const { return sb_->code.size() >= cap_; }
+
+  /// Straight-line op retiring at decoded-code index `next_ip`.
+  void add_op(SbKind k, Reg dst, Reg a, Reg b, std::int64_t imm,
+              std::uint32_t next_ip);
+  /// Unconditional branch (Br, or CondBr with equal targets) to `target`.
+  void add_br(std::uint32_t target);
+  /// Conditional branch on regs[a] recorded going to `on_ip`; a run that
+  /// goes to `off_ip` instead side-exits there.
+  void add_guard(Reg a, bool taken, std::uint32_t on_ip, std::uint32_t off_ip);
+
+  /// Closes the trace as a loop: the last recorded instruction (a branch
+  /// back to entry_ip) continues at trace index 0.
+  void close_loop();
+  /// Ends the trace: execution past the last instruction resumes in the
+  /// interpreter at `resume_ip`.
+  void stop(std::uint32_t resume_ip);
+
+  /// Returns the finished trace (close_loop or stop must have been called).
+  std::unique_ptr<Superblock> finish();
+
+ private:
+  std::unique_ptr<Superblock> sb_;
+  std::uint32_t cap_;
+  bool closed_ = false;
+};
+
+/// Per-DecodedCode profile counters and installed traces, indexed by code
+/// position. Owned by the Function alongside its DecodedCode and dropped
+/// together with it on invalidation (module changes re-decode, so stale
+/// traces can never execute).
+class SuperblockCache {
+ public:
+  explicit SuperblockCache(std::size_t code_len) : sites_(code_len) {}
+
+  Superblock* lookup(std::uint32_t ip) { return sites_[ip].sb.get(); }
+  /// Bumps and returns the step-entry execution counter for `ip`.
+  std::uint32_t bump(std::uint32_t ip) { return ++sites_[ip].count; }
+
+  void install(std::unique_ptr<Superblock> sb);
+
+  std::size_t sites() const { return sites_.size(); }
+  unsigned compiled() const { return compiled_; }
+  std::uint64_t recorded_instrs() const { return recorded_instrs_; }
+
+  /// Opaque owner of the native backend's executable-memory arena; machine
+  /// code referenced by Superblock::native lives exactly as long as this.
+  const std::shared_ptr<void>& native_arena() const { return native_arena_; }
+  void set_native_arena(std::shared_ptr<void> a) {
+    native_arena_ = std::move(a);
+  }
+
+ private:
+  struct Site {
+    std::uint32_t count = 0;
+    std::unique_ptr<Superblock> sb;
+  };
+  std::vector<Site> sites_;
+  unsigned compiled_ = 0;
+  std::uint64_t recorded_instrs_ = 0;
+  std::shared_ptr<void> native_arena_;
+};
+
+}  // namespace st::ir

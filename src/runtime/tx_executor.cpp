@@ -150,8 +150,8 @@ TxExecutor::TxExecutor(TxSystem& sys, sim::CoreId core)
     : sys_(sys), core_(core) {
   spec_env_ = std::make_unique<SpecEnv>(*this);
   plain_env_ = std::make_unique<PlainEnv>(*this);
-  spec_interp_ = std::make_unique<Interp>(*spec_env_);
-  plain_interp_ = std::make_unique<Interp>(*plain_env_);
+  spec_interp_ = std::make_unique<Interp>(*spec_env_, &sys_.config().jit);
+  plain_interp_ = std::make_unique<Interp>(*plain_env_, &sys_.config().jit);
 }
 
 TxExecutor::~TxExecutor() = default;

@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "htm/htm.hpp"
+#include "interp/jit.hpp"
 #include "obs/trace.hpp"
 #include "sim/machine.hpp"
 #include "stagger/advisory_locks.hpp"
@@ -64,6 +65,12 @@ struct RuntimeConfig {
   /// either way (see sim::Machine::fuse_budget). Defaults to the
   /// STAGTM_MACROSTEP env knob.
   bool macrostep = sim::Machine::default_step_fusion();
+  /// Interpreter execution tier (interp/jit.hpp). Host-side only, like
+  /// macrostep: which dispatcher retires instructions never changes a
+  /// simulated result (CI-enforced byte-identical across tiers). Defaults
+  /// to the STAGTM_JIT / STAGTM_JIT_THRESHOLD / STAGTM_JIT_CAP env knobs,
+  /// sampled when this config is constructed.
+  interp::JitConfig jit = interp::JitConfig::from_env();
   /// Event tracing (obs/trace.hpp). Tracing is a pure observer: no sink is
   /// even allocated unless trace.enabled(), and simulated results are
   /// CI-enforced identical with tracing on and off. Defaults OFF here;

@@ -10,8 +10,11 @@
 namespace st::sim {
 
 bool Machine::default_step_fusion() {
-  static const bool enabled = env_flag01("STAGTM_MACROSTEP", true);
-  return enabled;
+  // Re-read per call (one Machine construction each): latching the first
+  // answer in a static would let the first Machine built in a process pin
+  // the setting for every later one, which breaks tests and tools that
+  // flip the knob between runs.
+  return env_flag01("STAGTM_MACROSTEP", true);
 }
 
 Machine::Machine(unsigned cores) {

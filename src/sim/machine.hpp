@@ -100,7 +100,11 @@ class Machine {
   bool step_fusion() const { return fusion_; }
 
   /// STAGTM_MACROSTEP: unset or "1" enables fusion, "0" disables it;
-  /// anything else exits with a diagnostic (latched on first use).
+  /// anything else exits with a diagnostic. Read afresh on every call —
+  /// each Machine samples it at construction (and set_step_fusion can
+  /// override per instance afterwards), so changing the environment
+  /// between Machine constructions takes effect; nothing is latched
+  /// process-wide.
   static bool default_step_fusion();
 
   /// Optional event sink (see obs/trace.hpp): the scheduler stamps a

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "check/scheduler.hpp"
+#include "interp/jit.hpp"
 #include "workloads/workload.hpp"
 
 namespace st::workloads {
@@ -27,6 +28,10 @@ struct RunOptions {
   /// fused vs single-stepped executions in one process. The STAGTM_MACROSTEP
   /// env knob sets the process-wide default.
   bool macrostep = sim::Machine::default_step_fusion();
+  /// Interpreter execution tier (interp/jit.hpp). Host-side like macrostep:
+  /// simulated results are identical across tiers (CI-enforced). Defaults
+  /// to the STAGTM_JIT / STAGTM_JIT_THRESHOLD / STAGTM_JIT_CAP env knobs.
+  interp::JitConfig jit = interp::JitConfig::from_env();
   stagger::PolicyConfig policy;  // addr_only is set automatically
   /// Override the instrumentation mode (default: what the scheme implies).
   /// kAll + kStaggered reproduces Table 3's naive instrument-everything
@@ -76,6 +81,11 @@ struct RunResult {
   /// Schedule-perturbation provenance ("off" when no perturbation ran).
   std::string sched_mode = "off";
   std::uint64_t sched_seed = 0;
+  /// JIT-tier provenance (host-side; recorded so a results file says which
+  /// dispatcher produced it even though the numbers are tier-invariant).
+  std::string jit_mode = "off";
+  std::uint32_t jit_threshold = 0;
+  std::uint32_t jit_cap = 0;
   /// Commit log (append order = serialization order); set in checked mode.
   std::shared_ptr<const runtime::CommitLog> commit_log;
   /// Workload::state_digest() of the final state (checked mode; 0 when the

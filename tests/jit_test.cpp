@@ -1,0 +1,461 @@
+// Superblock trace compiler + JIT tier tests.
+//
+// The load-bearing invariant extends the macrostep one (macrostep_test.cpp):
+// which dispatcher retires a pure-register run — the fused switch loop, a
+// recorded superblock under the direct-threaded portable executor, or the
+// x86-64 native template backend — must be invisible in every simulated
+// number. Verified four ways: budget-sweep unit tests against a
+// single-stepped no-JIT reference, side-exit/deopt tests that force guards
+// to fail, trace-cache invalidation tests, and differential full-system
+// runs of all ten workloads across off / portable / native / mixed tiers,
+// including under src/check schedule perturbation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "check/scheduler.hpp"
+#include "interp/interp.hpp"
+#include "interp/jit.hpp"
+#include "ir/builder.hpp"
+#include "sim/machine.hpp"
+#include "workloads/harness.hpp"
+
+namespace st {
+namespace {
+
+struct NullEnv final : interp::ExecEnv {
+  std::unordered_map<sim::Addr, std::uint64_t> mem;
+  Mem load(sim::Addr a, unsigned, std::uint32_t) override {
+    return {mem[a & ~7ull], 2, true};
+  }
+  Mem store(sim::Addr a, std::uint64_t v, unsigned, std::uint32_t) override {
+    mem[a & ~7ull] = v;
+    return {0, 2, true};
+  }
+  Mem nt_load(sim::Addr a, unsigned size) override { return load(a, size, 0); }
+  Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) override {
+    return store(a, v, size, 0);
+  }
+  Mem alloc(const ir::StructType*, sim::Addr& out) override {
+    out = 0x100000;
+    return {out, interp::Interp::kAllocCost, true};
+  }
+  void free_(sim::Addr) override {}
+  AlpResult alpoint(std::uint32_t, sim::Addr, std::uint32_t) override {
+    return {1, false, true};
+  }
+};
+
+/// A loop whose body branches on a data-dependent condition (~7/8 taken),
+/// so decode-time pair fusion cannot linearize it but a superblock guard
+/// can: exactly the shape the trace compiler exists for.
+ir::Function* build_branchy_loop(ir::Module& m) {
+  ir::FunctionBuilder b(m, "branchy", {nullptr});
+  const ir::Reg i = b.var(b.const_i(0));
+  const ir::Reg acc = b.var(b.const_i(1));
+  b.while_([&] { return b.cmp_slt(i, b.param(0)); },
+           [&] {
+             b.if_else(b.cmp_ne(b.and_(i, b.const_i(7)), b.const_i(7)),
+                       [&] { b.assign(acc, b.add(acc, b.xor_(acc, i))); },
+                       [&] { b.assign(acc, b.mul(acc, b.const_i(3))); });
+             b.assign(i, b.add(i, b.const_i(1)));
+           });
+  b.ret(acc);
+  return b.function();
+}
+
+struct RunSummary {
+  std::uint64_t result = 0;
+  std::uint64_t instrs = 0;
+  sim::Cycle cycles = 0;
+  unsigned steps = 0;
+};
+
+RunSummary run_to_end(interp::Interp& it, ir::Function* f, std::uint64_t arg,
+                      sim::Cycle budget) {
+  it.start(f, std::vector<std::uint64_t>{arg});
+  RunSummary s;
+  for (;;) {
+    const auto st = it.step(budget);
+    s.cycles += st.cycles;
+    ++s.steps;
+    if (st.finished) break;
+  }
+  s.result = it.result();
+  s.instrs = it.instrs_executed();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Tiered execution vs the single-stepped no-JIT reference.
+// ---------------------------------------------------------------------------
+
+void expect_tier_matches_reference(interp::JitTier tier) {
+  ir::Module m;
+  ir::Function* f = build_branchy_loop(m);
+  NullEnv env;
+
+  interp::Interp ref(env);  // no JIT, single-stepped: ground truth
+  const RunSummary want = run_to_end(ref, f, 200, 1);
+
+  interp::JitConfig cfg;
+  cfg.tier = tier;
+  cfg.threshold = 1;  // record at the first eligible entry
+  // Budgets below, at, and above kMinRecordBudget, plus "unbounded": each
+  // slices trace execution at different points (including mid-trace budget
+  // exits and guard side exits) and must reproduce result, retired count,
+  // and cycle total exactly.
+  for (sim::Cycle budget : {sim::Cycle{1}, sim::Cycle{2}, sim::Cycle{31},
+                            sim::Cycle{32}, sim::Cycle{33}, sim::Cycle{100},
+                            sim::Cycle{1} << 20}) {
+    interp::Interp it(env, &cfg);
+    const RunSummary got = run_to_end(it, f, 200, budget);
+    EXPECT_EQ(got.result, want.result) << "budget " << budget;
+    EXPECT_EQ(got.instrs, want.instrs) << "budget " << budget;
+    EXPECT_EQ(got.cycles, want.cycles) << "budget " << budget;
+    if (budget >= interp::Interp::kMinRecordBudget) {
+      EXPECT_GT(it.superblocks_recorded(), 0u) << "budget " << budget;
+      EXPECT_GT(it.superblock_runs(), 0u) << "budget " << budget;
+    } else {
+      // Too little headroom to record: sites never even bump.
+      EXPECT_EQ(it.superblocks_recorded(), 0u) << "budget " << budget;
+    }
+    f->invalidate_decoded();  // fresh profile/traces for the next budget
+  }
+}
+
+TEST(Jit, PortableTierMatchesReferenceAcrossBudgets) {
+  expect_tier_matches_reference(interp::JitTier::kPortable);
+}
+
+TEST(Jit, NativeTierMatchesReferenceAcrossBudgets) {
+  if (!interp::jit_native_available()) GTEST_SKIP() << "native tier not built";
+  expect_tier_matches_reference(interp::JitTier::kNative);
+}
+
+// A trace records the biased branch direction; iterations taking the other
+// direction must side-exit with fully materialized state. The off-exit
+// counter proves the deopt path actually ran (portable tier counts them).
+TEST(Jit, GuardSideExitMaterializesState) {
+  ir::Module m;
+  ir::Function* f = build_branchy_loop(m);
+  NullEnv env;
+
+  interp::Interp ref(env);
+  const RunSummary want = run_to_end(ref, f, 64, 1);
+
+  interp::JitConfig cfg;
+  cfg.tier = interp::JitTier::kPortable;
+  cfg.threshold = 1;
+  interp::Interp it(env, &cfg);
+  const RunSummary got = run_to_end(it, f, 64, 1u << 20);
+  EXPECT_EQ(got.result, want.result);
+  EXPECT_EQ(got.instrs, want.instrs);
+  EXPECT_EQ(got.cycles, want.cycles);
+  // 64 iterations, ~1 in 8 takes the unrecorded direction.
+  EXPECT_GT(it.superblock_off_exits(), 0u);
+}
+
+// The recorder runs once per site; a loop whose body returns to the entry
+// must be captured as a closed loop (subsequent steps run many iterations
+// inside one trace execution instead of exiting per iteration).
+TEST(Jit, HotLoopClosesAndReruns) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "sum", {nullptr});
+  const ir::Reg i = b.var(b.const_i(0));
+  const ir::Reg acc = b.var(b.const_i(0));
+  b.while_([&] { return b.cmp_slt(i, b.param(0)); },
+           [&] {
+             b.assign(acc, b.add(acc, i));
+             b.assign(i, b.add(i, b.const_i(1)));
+           });
+  b.ret(acc);
+  ir::Function* f = b.function();
+
+  NullEnv env;
+  interp::JitConfig cfg;
+  cfg.tier = interp::JitTier::kPortable;
+  cfg.threshold = 1;
+  interp::Interp it(env, &cfg);
+  const RunSummary got = run_to_end(it, f, 10'000, 1u << 20);
+  EXPECT_EQ(got.result, 49'995'000u);
+  // The prologue trace is straight-line (entry never re-executes), but the
+  // trace entered from inside the loop must close on itself and run the
+  // remaining ~10k iterations inside a handful of trace executions — if
+  // loops did not close, every iteration would cost a separate step.
+  EXPECT_LE(got.steps, 12u);
+  EXPECT_GE(it.superblocks_recorded(), 1u);
+  EXPECT_GT(it.superblock_runs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-cache invalidation.
+// ---------------------------------------------------------------------------
+
+TEST(Jit, InvalidateDecodedDropsTraces) {
+  ir::Module m;
+  ir::Function* f = build_branchy_loop(m);
+  NullEnv env;
+  interp::JitConfig cfg;
+  cfg.tier = interp::JitTier::kPortable;
+  cfg.threshold = 1;
+
+  interp::Interp it(env, &cfg);
+  run_to_end(it, f, 100, 1u << 20);
+  EXPECT_GT(f->jit_cache().compiled(), 0u);
+
+  f->invalidate_decoded();
+  EXPECT_EQ(f->jit_cache().compiled(), 0u);  // rebuilt empty, re-sized
+
+  // Executing after invalidation re-decodes, re-profiles, re-records.
+  interp::Interp it2(env, &cfg);
+  const RunSummary again = run_to_end(it2, f, 100, 1u << 20);
+  interp::Interp ref(env);
+  const RunSummary want = run_to_end(ref, f, 100, 1);
+  EXPECT_EQ(again.result, want.result);
+  EXPECT_EQ(again.instrs, want.instrs);
+  EXPECT_GT(f->jit_cache().compiled(), 0u);
+}
+
+TEST(Jit, AddBlockDropsTraces) {
+  ir::Module m;
+  ir::Function* f = build_branchy_loop(m);
+  NullEnv env;
+  interp::JitConfig cfg;
+  cfg.tier = interp::JitTier::kPortable;
+  cfg.threshold = 1;
+  interp::Interp it(env, &cfg);
+  run_to_end(it, f, 100, 1u << 20);
+  EXPECT_GT(f->jit_cache().compiled(), 0u);
+  // Structural change: decoded() and the trace cache must both go. Give the
+  // new block a terminator so the function stays decodable.
+  ir::BasicBlock* late = f->add_block("late");
+  ir::Instr ret;
+  ret.op = ir::Op::Ret;
+  late->instrs().push_back(ret);
+  EXPECT_EQ(f->jit_cache().compiled(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Env knobs (common/env contract: unset -> default, valid -> applied,
+// anything else -> exit 2 naming the variable).
+// ---------------------------------------------------------------------------
+
+TEST(JitEnv, DefaultsAndValidValues) {
+  unsetenv("STAGTM_JIT");
+  unsetenv("STAGTM_JIT_THRESHOLD");
+  unsetenv("STAGTM_JIT_CAP");
+  interp::JitConfig cfg = interp::JitConfig::from_env();
+  EXPECT_EQ(cfg.tier, interp::JitTier::kPortable);
+  EXPECT_EQ(cfg.threshold, 64u);
+  EXPECT_EQ(cfg.cap, 256u);
+
+  setenv("STAGTM_JIT", "off", 1);
+  EXPECT_EQ(interp::JitConfig::from_env().tier, interp::JitTier::kOff);
+  setenv("STAGTM_JIT", "portable", 1);
+  setenv("STAGTM_JIT_THRESHOLD", "3", 1);
+  setenv("STAGTM_JIT_CAP", "16", 1);
+  cfg = interp::JitConfig::from_env();
+  EXPECT_EQ(cfg.tier, interp::JitTier::kPortable);
+  EXPECT_EQ(cfg.threshold, 3u);
+  EXPECT_EQ(cfg.cap, 16u);
+  if (interp::jit_native_available()) {
+    setenv("STAGTM_JIT", "native", 1);
+    EXPECT_EQ(interp::JitConfig::from_env().tier, interp::JitTier::kNative);
+  }
+  unsetenv("STAGTM_JIT");
+  unsetenv("STAGTM_JIT_THRESHOLD");
+  unsetenv("STAGTM_JIT_CAP");
+}
+
+TEST(JitEnvDeath, BadTierExits2) {
+  setenv("STAGTM_JIT", "turbo", 1);
+  EXPECT_EXIT(interp::JitConfig::from_env(), ::testing::ExitedWithCode(2),
+              "STAGTM_JIT must be \"off\", \"portable\" or \"native\"");
+  unsetenv("STAGTM_JIT");
+}
+
+TEST(JitEnvDeath, BadThresholdExits2) {
+  setenv("STAGTM_JIT_THRESHOLD", "0", 1);
+  EXPECT_EXIT(interp::JitConfig::from_env(), ::testing::ExitedWithCode(2),
+              "STAGTM_JIT_THRESHOLD must be an integer in \\[1,2\\^30\\]");
+  unsetenv("STAGTM_JIT_THRESHOLD");
+}
+
+TEST(JitEnvDeath, BadCapExits2) {
+  setenv("STAGTM_JIT_CAP", "lots", 1);
+  EXPECT_EXIT(interp::JitConfig::from_env(), ::testing::ExitedWithCode(2),
+              "STAGTM_JIT_CAP must be an integer in \\[1,65536\\]");
+  unsetenv("STAGTM_JIT_CAP");
+}
+
+TEST(JitEnvDeath, NativeWhenNotBuiltExits2) {
+  if (interp::jit_native_available())
+    GTEST_SKIP() << "native tier is built in this configuration";
+  setenv("STAGTM_JIT", "native", 1);
+  EXPECT_EXIT(interp::JitConfig::from_env(), ::testing::ExitedWithCode(2),
+              "native tier is not compiled in");
+  unsetenv("STAGTM_JIT");
+}
+
+// ---------------------------------------------------------------------------
+// STAGTM_MACROSTEP must not be latched process-wide (regression: the first
+// Machine constructed used to pin the env value for every later one).
+// ---------------------------------------------------------------------------
+
+TEST(MacrostepEnv, DefaultIsReReadPerMachine) {
+  setenv("STAGTM_MACROSTEP", "0", 1);
+  sim::Machine off_m(1);
+  EXPECT_FALSE(off_m.step_fusion());
+  setenv("STAGTM_MACROSTEP", "1", 1);
+  sim::Machine on_m(1);  // same process, flipped env: must see the flip
+  EXPECT_TRUE(on_m.step_fusion());
+  EXPECT_FALSE(off_m.step_fusion());  // per-instance, not retroactive
+  unsetenv("STAGTM_MACROSTEP");
+  sim::Machine dflt(1);
+  EXPECT_TRUE(dflt.step_fusion());  // unset -> fusion on
+  // And the per-instance API still overrides the construction-time sample.
+  dflt.set_step_fusion(false);
+  EXPECT_FALSE(dflt.step_fusion());
+}
+
+// ---------------------------------------------------------------------------
+// Differential full-system runs: every simulated number identical across
+// off / portable / native / mixed tiers, on all ten workloads.
+// ---------------------------------------------------------------------------
+
+void expect_tier_invariant(const char* workload, runtime::Scheme scheme) {
+  workloads::RunOptions off;
+  off.scheme = scheme;
+  off.threads = 4;
+  off.ops_scale = 0.04;
+  off.jit.tier = interp::JitTier::kOff;
+
+  workloads::RunOptions portable = off;
+  portable.jit.tier = interp::JitTier::kPortable;
+  portable.jit.threshold = 1;  // trace everything eligible
+
+  workloads::RunOptions mixed = off;
+  mixed.jit.tier = interp::JitTier::kPortable;
+  mixed.jit.threshold = 40;  // some sites hot enough to trace, some not
+  mixed.jit.cap = 16;        // force short traces + frequent tier switches
+
+  const auto a = workloads::run_workload(workload, off);
+  std::vector<workloads::RunResult> others;
+  others.push_back(workloads::run_workload(workload, portable));
+  others.push_back(workloads::run_workload(workload, mixed));
+  if (interp::jit_native_available()) {
+    workloads::RunOptions native = portable;
+    native.jit.tier = interp::JitTier::kNative;
+    others.push_back(workloads::run_workload(workload, native));
+  }
+
+  for (const auto& b : others) {
+    SCOPED_TRACE(std::string(workload) + " tier=" + b.jit_mode +
+                 " threshold=" + std::to_string(b.jit_threshold));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.total_ops, b.total_ops);
+    EXPECT_EQ(a.totals.commits, b.totals.commits);
+    EXPECT_EQ(a.totals.total_aborts(), b.totals.total_aborts());
+    EXPECT_EQ(a.totals.aborts_conflict, b.totals.aborts_conflict);
+    EXPECT_EQ(a.totals.tx_instrs, b.totals.tx_instrs);
+    EXPECT_EQ(a.totals.interp_instrs, b.totals.interp_instrs);
+    EXPECT_EQ(a.totals.cycles_useful_tx, b.totals.cycles_useful_tx);
+    EXPECT_EQ(a.totals.cycles_wasted_tx, b.totals.cycles_wasted_tx);
+    EXPECT_EQ(a.totals.cycles_lock_wait, b.totals.cycles_lock_wait);
+    EXPECT_EQ(a.totals.alp_acquires, b.totals.alp_acquires);
+    EXPECT_EQ(a.totals.irrevocable_entries, b.totals.irrevocable_entries);
+    EXPECT_EQ(a.totals.l1_hits, b.totals.l1_hits);
+    EXPECT_EQ(a.totals.l1_misses, b.totals.l1_misses);
+  }
+}
+
+TEST(JitDifferential, Genome) {
+  expect_tier_invariant("genome", runtime::Scheme::kStaggered);
+}
+TEST(JitDifferential, Intruder) {
+  expect_tier_invariant("intruder", runtime::Scheme::kStaggered);
+}
+TEST(JitDifferential, Kmeans) {
+  expect_tier_invariant("kmeans", runtime::Scheme::kStaggered);
+}
+TEST(JitDifferential, Labyrinth) {
+  expect_tier_invariant("labyrinth", runtime::Scheme::kStaggered);
+}
+TEST(JitDifferential, Ssca2) {
+  expect_tier_invariant("ssca2", runtime::Scheme::kBaseline);
+}
+TEST(JitDifferential, Vacation) {
+  expect_tier_invariant("vacation", runtime::Scheme::kStaggeredSW);
+}
+TEST(JitDifferential, ListLo) {
+  expect_tier_invariant("list-lo", runtime::Scheme::kStaggered);
+}
+TEST(JitDifferential, ListHi) {
+  expect_tier_invariant("list-hi", runtime::Scheme::kStaggeredSW);
+}
+TEST(JitDifferential, Tsp) {
+  expect_tier_invariant("tsp", runtime::Scheme::kStaggered);
+}
+TEST(JitDifferential, Memcached) {
+  expect_tier_invariant("memcached", runtime::Scheme::kStaggered);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule-perturbation interaction (src/check): a perturbed run pins the
+// fuse budget to 1, so traces must neither record nor run mid-flight, and
+// every event boundary — hence the commit order, every counter, and the
+// final state digest — must be identical with the JIT on and off.
+// ---------------------------------------------------------------------------
+
+void expect_perturbed_tier_invariant(check::SchedMode mode) {
+  check::SchedConfig sched;
+  sched.mode = mode;
+  sched.seed = 11;
+
+  workloads::RunOptions off;
+  off.scheme = runtime::Scheme::kStaggered;
+  off.threads = 4;
+  off.ops_scale = 0.04;
+  off.checked = true;
+  off.sched = sched;
+  off.jit.tier = interp::JitTier::kOff;
+
+  workloads::RunOptions on = off;
+  on.jit.tier = interp::jit_native_available() ? interp::JitTier::kNative
+                                               : interp::JitTier::kPortable;
+  on.jit.threshold = 1;
+
+  const auto a = workloads::run_workload("list-hi", off);
+  const auto b = workloads::run_workload("list-hi", on);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.totals.commits, b.totals.commits);
+  EXPECT_EQ(a.totals.interp_instrs, b.totals.interp_instrs);
+  EXPECT_TRUE(a.invariant_failure.empty()) << a.invariant_failure;
+  EXPECT_TRUE(b.invariant_failure.empty()) << b.invariant_failure;
+  EXPECT_EQ(a.state_digest, b.state_digest);
+  ASSERT_TRUE(a.commit_log && b.commit_log);
+  ASSERT_EQ(a.commit_log->size(), b.commit_log->size());
+  for (std::size_t i = 0; i < a.commit_log->size(); ++i) {
+    const auto& ca = (*a.commit_log)[i];
+    const auto& cb = (*b.commit_log)[i];
+    EXPECT_EQ(ca.cycle, cb.cycle) << "commit " << i;
+    EXPECT_EQ(ca.core, cb.core) << "commit " << i;
+    EXPECT_EQ(ca.ab_id, cb.ab_id) << "commit " << i;
+    EXPECT_EQ(ca.attempts, cb.attempts) << "commit " << i;
+    EXPECT_EQ(ca.irrevocable, cb.irrevocable) << "commit " << i;
+    EXPECT_EQ(ca.result, cb.result) << "commit " << i;
+  }
+}
+
+TEST(JitDifferential, PerturbedJitterSeesIdenticalEventBoundaries) {
+  expect_perturbed_tier_invariant(check::SchedMode::kJitter);
+}
+
+TEST(JitDifferential, PerturbedPctSeesIdenticalEventBoundaries) {
+  expect_perturbed_tier_invariant(check::SchedMode::kPct);
+}
+
+}  // namespace
+}  // namespace st

@@ -10,7 +10,7 @@ using namespace st::bench;
 
 int main() {
   print_header("Ablation A4: staggering under eager vs lazy HTM");
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
 
   const char* wls[] = {"list-hi", "kmeans", "memcached", "tsp", "ssca2"};
 

@@ -8,7 +8,7 @@ using namespace st::bench;
 
 int main() {
   print_header("Ablation A3: advisory-lock table size and acquire timeout");
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
 
   const char* wls[] = {"list-hi", "kmeans"};
   const unsigned sizes[] = {1u, 4u, 16u, 64u, 256u, 1024u};

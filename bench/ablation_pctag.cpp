@@ -9,7 +9,7 @@ using namespace st::bench;
 
 int main() {
   print_header("Ablation A2: hardware PC-tag width vs anchor accuracy");
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
 
   const char* wls[] = {"list-hi", "memcached", "genome"};
   const unsigned widths[] = {4u, 6u, 8u, 10u, 12u, 16u};

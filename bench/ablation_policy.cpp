@@ -75,7 +75,7 @@ void print(Sweep& sweep, const char* wl, unsigned threads, const WlIds& ids) {
 
 int main() {
   print_header("Ablation A1: locking-policy parameters");
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
   Sweep sweep("ablation_policy");
   const WlIds hi = submit(sweep, "list-hi", threads);
   const WlIds lo = submit(sweep, "genome", threads);

@@ -10,7 +10,7 @@ using namespace st::bench;
 
 int main() {
   print_header("Ablation A7: proactive whole-txn scheduling vs staggering");
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
 
   const char* wls[] = {"list-hi", "list-lo",   "kmeans",
                        "memcached", "intruder", "ssca2"};

@@ -9,9 +9,14 @@
 // run. Environment knobs (all strictly validated — a typo aborts with a
 // message instead of silently running the wrong experiment):
 //   STAGTM_SCALE   — ops multiplier (default 0.25; 1.0 = full length)
-//   STAGTM_THREADS — simulated worker count (default 16, as in the paper)
+//   STAGTM_CORES   — simulated worker count (default 16, as in the paper)
 //   STAGTM_SEED    — RNG seed (default 1)
-//   STAGTM_JOBS    — host worker threads (default: hardware concurrency)
+//   STAGTM_JOBS    — host worker threads, one per simulation (default:
+//     hardware concurrency)
+//   STAGTM_THREADS — host worker threads *inside* one simulation
+//     (sim/machine.hpp parallel engine; default 1; never changes stdout or
+//     simulated results, and the runner caps JOBS x THREADS at hardware
+//     concurrency)
 //   STAGTM_JSON    — if set, write machine-readable results to this path
 //   STAGTM_TRACE / STAGTM_TRACE_EVENTS / STAGTM_TRACE_CAP — event tracing
 //     (obs/trace.hpp); never changes stdout or simulated results
@@ -40,9 +45,12 @@ inline double env_scale() {
   return env_positive_double("STAGTM_SCALE", 0.25);
 }
 
-inline unsigned env_threads() {
-  return static_cast<unsigned>(env_u64("STAGTM_THREADS", 16, 1, 32,
-                                       "an integer in [1,32]"));
+inline unsigned env_cores() {
+  // Historically named STAGTM_THREADS; renamed when STAGTM_THREADS became
+  // the *host*-thread knob. The printed header keeps the "threads=" label
+  // (simulated worker threads) so frozen stdout stays byte-identical.
+  return static_cast<unsigned>(env_u64("STAGTM_CORES", 16, 1, 256,
+                                       "an integer in [1,256]"));
 }
 
 inline std::uint64_t env_seed() {
@@ -77,12 +85,14 @@ inline void print_header(const char* what) {
   std::printf("==============================================================\n");
   std::printf("%s\n", what);
   print_machine_config();
-  std::printf("threads=%u scale=%.2f seed=%llu\n", env_threads(),
+  std::printf("threads=%u scale=%.2f seed=%llu\n", env_cores(),
               env_scale(), static_cast<unsigned long long>(env_seed()));
   std::printf("==============================================================\n");
-  // stderr, not stdout: the job count changes wall time but never results,
-  // and stdout must be byte-identical across STAGTM_JOBS settings.
-  std::fprintf(stderr, "[%u host jobs]\n", env_jobs());
+  // stderr, not stdout: job/host-thread counts change wall time but never
+  // results, and stdout must be byte-identical across STAGTM_JOBS and
+  // STAGTM_THREADS settings.
+  std::fprintf(stderr, "[%u host jobs x %u host threads]\n", env_jobs(),
+               sim::Machine::default_host_threads());
 }
 
 /// speedup of `r` relative to a single-thread run `base1` (throughput
@@ -148,7 +158,7 @@ class Sweep {
     std::fprintf(f,
                  "\",\n  \"jobs\": %u,\n  \"threads\": %u,\n"
                  "  \"scale\": %.17g,\n  \"seed\": %llu,\n  \"runs\": [",
-                 jobs(), env_threads(), env_scale(),
+                 jobs(), env_cores(), env_scale(),
                  static_cast<unsigned long long>(env_seed()));
     const std::size_t n = runner_.submitted();
     bool first = true;
@@ -173,8 +183,8 @@ class Sweep {
           "\"instrs\": %llu, \"minstr_per_s\": %.3f, "
           "\"abort_trace_dropped\": %llu, "
           "\"sched_mode\": \"%s\", \"sched_seed\": %llu, "
-          "\"jit_mode\": \"%s\", \"jit_threshold\": %u, \"jit_cap\": %u,"
-          "\n     \"totals\": {",
+          "\"jit_mode\": \"%s\", \"jit_threshold\": %u, \"jit_cap\": %u, "
+          "\"host_threads\": %u,",
           r->threads, static_cast<unsigned long long>(r->cycles),
           static_cast<unsigned long long>(r->total_ops), r->throughput(),
           static_cast<unsigned long long>(r->totals.commits),
@@ -185,7 +195,12 @@ class Sweep {
           static_cast<unsigned long long>(r->abort_trace_dropped),
           r->sched_mode.c_str(),
           static_cast<unsigned long long>(r->sched_seed), r->jit_mode.c_str(),
-          r->jit_threshold, r->jit_cap);
+          r->jit_threshold, r->jit_cap, r->host_threads);
+      // Parallel-engine host counters (host-side like wall_ms: excluded
+      // from differential comparisons).
+      std::fprintf(f, "\n     \"host_par\": ");
+      obs::write_host_par_json(f, r->par);
+      std::fprintf(f, ",\n     \"totals\": {");
       // Full metric set, registry-driven: every counter + log2 histogram,
       // aggregated and per core (obs/metrics.hpp).
       obs::write_core_stats_json(f, r->totals);

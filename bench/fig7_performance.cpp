@@ -10,7 +10,7 @@ using namespace st::bench;
 
 int main() {
   print_header("Figure 7: performance normalized to eager HTM (16 threads)");
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
 
   struct PaperRow {
     const char* name;

@@ -21,7 +21,7 @@ int main() {
     std::size_t base, stag;
   };
   std::vector<RowIds> ids;
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
   for (const char* name : names) {
     RowIds r;
     r.base = sweep.add(name, base_options(runtime::Scheme::kBaseline, threads));

@@ -1,0 +1,89 @@
+// Core-scaling curves for the parallel deterministic engine (DESIGN.md §13,
+// sim/machine.hpp): sweeps the simulated core count 16..256 and, for every
+// configuration, runs the same simulation serially (host_threads=1) and
+// sharded (STAGTM_THREADS host workers) in interleaved A/B rounds.
+//
+// stdout carries only simulated results (cycles, ops, throughput, commits,
+// aborts) and is byte-identical across STAGTM_THREADS — CI compares it.
+// Host wall-clock medians and the serial/parallel speedup go to stderr
+// (BENCH_parallel.json records them). Every parallel run is additionally
+// checked bit-identical to its serial twin in-process, so this bench is a
+// differential test of the engine as a side effect.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/check.hpp"
+
+using namespace st;
+using namespace st::bench;
+
+namespace {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// The simulated fields the engine must reproduce exactly (the full-width
+/// contract is CI's byte comparison; this is the in-process subset).
+void check_identical(const workloads::RunResult& a,
+                     const workloads::RunResult& b) {
+  ST_CHECK_MSG(a.cycles == b.cycles && a.total_ops == b.total_ops &&
+                   a.totals.commits == b.totals.commits &&
+                   a.totals.total_aborts() == b.totals.total_aborts() &&
+                   a.totals.interp_instrs == b.totals.interp_instrs,
+               "parallel engine diverged from the serial event loop");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Core scaling: simulated throughput vs simulated cores");
+
+  const unsigned counts[] = {16, 32, 64, 128, 256};
+  const char* names[] = {"ssca2", "kmeans"};
+  const unsigned rounds = static_cast<unsigned>(
+      env_u64("STAGTM_ROUNDS", 3, 1, 100, "an integer in [1,100]"));
+  const unsigned host_threads = sim::Machine::default_host_threads();
+  std::fprintf(stderr, "[%u A/B rounds, host_threads 1 vs %u]\n", rounds,
+               host_threads);
+
+  for (const char* name : names) {
+    std::printf("\n--- %s (Staggered) ---\n", name);
+    std::printf("%6s %14s %12s %12s %10s %10s\n", "cores", "cycles",
+                "total_ops", "throughput", "commits", "aborts");
+    for (unsigned cores : counts) {
+      workloads::RunOptions o =
+          base_options(runtime::Scheme::kStaggered, cores);
+      std::vector<double> serial_ms, par_ms;
+      workloads::RunResult shown;
+      for (unsigned round = 0; round < rounds; ++round) {
+        for (int par = 0; par < 2; ++par) {  // interleaved A/B
+          o.host_threads = par == 0 ? 1 : host_threads;
+          workloads::RunResult r = workloads::run_workload(name, o);
+          (par == 0 ? serial_ms : par_ms).push_back(r.wall_ms);
+          if (round == 0 && par == 0)
+            shown = std::move(r);
+          else
+            check_identical(shown, r);
+        }
+      }
+      std::printf("%6u %14llu %12llu %12.6f %10llu %10llu\n", cores,
+                  static_cast<unsigned long long>(shown.cycles),
+                  static_cast<unsigned long long>(shown.total_ops),
+                  shown.throughput(),
+                  static_cast<unsigned long long>(shown.totals.commits),
+                  static_cast<unsigned long long>(
+                      shown.totals.total_aborts()));
+      std::fflush(stdout);
+      const double s = median(serial_ms), p = median(par_ms);
+      std::fprintf(stderr,
+                   "[%s cores=%u serial=%.1fms parallel=%.1fms "
+                   "host_speedup=%.2fx]\n",
+                   name, cores, s, p, p > 0 ? s / p : 0.0);
+    }
+  }
+  return 0;
+}

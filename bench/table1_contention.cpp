@@ -31,7 +31,7 @@ int main() {
       {"vacation", 9.7, 1, 0.34, "N", "Y", "red-black trees"},
   };
 
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
   Sweep sweep("table1_contention");
   struct RowIds {
     std::size_t seq, par;

@@ -43,7 +43,7 @@ int main() {
       {"memcached", 405, 54, 2520, 80.9, "<1%", 98.3},
   };
 
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
   Sweep sweep("table3_instrumentation");
   struct RowIds {
     std::size_t base, inst, naive, acc;

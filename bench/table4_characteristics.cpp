@@ -32,7 +32,7 @@ int main() {
       {"memcached", 17, 85, 2.6, 4.77, "high"},
   };
 
-  const unsigned threads = env_threads();
+  const unsigned threads = env_cores();
   Sweep sweep("table4_characteristics");
   struct RowIds {
     std::size_t seq, par;

@@ -73,8 +73,11 @@ AbortInfo HtmSystem::abort(CoreId c, AbortCause self_cause) {
                      aborter, tx.info.conflict_line});
   }
   // Roll back: drop speculative stores, undo allocations, cancel frees.
+  // try_dealloc (not dealloc): program-issued frees may be invalid under a
+  // corrupted execution (checker mode, deliberately-broken builds); the
+  // harness reports heap.invalid_frees() instead of aborting the process.
   tx.wb.clear();
-  for (Addr a : tx.allocs) heap_.dealloc(a);
+  for (Addr a : tx.allocs) heap_.try_dealloc(a);
   tx.allocs.clear();
   tx.deferred_frees.clear();
   tx.active = false;
@@ -101,7 +104,7 @@ bool HtmSystem::commit(CoreId c, Cycle* publish_latency) {
   stats_.core(c).h_spec_footprint.add(mem_.speculative_lines(c));
   drain_wb(tx);
   mem_.clear_speculative(c, /*invalidate_written=*/false);
-  for (Addr a : tx.deferred_frees) heap_.dealloc(a);
+  for (Addr a : tx.deferred_frees) heap_.try_dealloc(a);
   tx.deferred_frees.clear();
   tx.allocs.clear();
   tx.wb.clear();
@@ -312,7 +315,7 @@ void HtmSystem::tx_free(CoreId c, Addr a) {
   if (tx_[c].active)
     tx_[c].deferred_frees.push_back(a);
   else
-    heap_.dealloc(a);
+    heap_.try_dealloc(a);
 }
 
 std::size_t HtmSystem::write_buffer_bytes(CoreId c) const {

@@ -87,6 +87,17 @@ class Interp {
   Step step(sim::Cycle budget = 1);
 
   bool running() const { return depth_ > 0; }
+  /// True when the next step() is guaranteed not to touch any shared
+  /// simulator state: the next instruction is a pure register instruction,
+  /// so the whole step (fused run or installed superblock — traces contain
+  /// only pure instructions and stop at boundaries) stays inside this
+  /// core's frame. The parallel machine uses this to classify window-local
+  /// vs synchronizing steps (sim/machine.hpp).
+  bool next_is_pure() const {
+    if (depth_ == 0) return false;
+    const Frame& fr = frames_[depth_ - 1];
+    return !fr.code[fr.ip].is_boundary();
+  }
   std::uint64_t result() const { return result_; }
   std::uint64_t instrs_executed() const { return instr_count_; }
   std::uint64_t alps_executed() const { return alp_count_; }

@@ -220,7 +220,7 @@ do_end:
 
 Interp::Step Interp::run_superblock(Frame& fr, ir::Superblock& sb,
                                     sim::Cycle budget) {
-  ++sb.runs;
+  sb.runs.fetch_add(1, std::memory_order_relaxed);
   ++sb_runs_;
   SbRun r;
   if (sb.native != nullptr) {
@@ -232,7 +232,7 @@ Interp::Step Interp::run_superblock(Frame& fr, ir::Superblock& sb,
   } else {
     r = run_superblock_portable(sb, fr.regs.data(), budget);
     if (r.off_trace) {
-      ++sb.off_trace_exits;
+      sb.off_trace_exits.fetch_add(1, std::memory_order_relaxed);
       ++sb_off_exits_;
     }
   }

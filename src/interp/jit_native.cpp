@@ -5,6 +5,7 @@
 #include <sys/mman.h>
 
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include "common/check.hpp"
@@ -13,10 +14,13 @@
 namespace st::interp {
 namespace {
 
-// W^X executable-memory arena: code is copied into mmap'd chunks that are
-// flipped to read-write only for the duration of the copy. One arena per
-// SuperblockCache (stashed behind its opaque owner pointer), so emitted
-// code lives exactly as long as the traces that reference it.
+// W^X executable-memory arena, one per SuperblockCache (stashed behind its
+// opaque owner pointer), so emitted code lives exactly as long as the
+// traces that reference it. Each install gets a fresh page-rounded mapping:
+// the copy happens while the mapping is writable and unpublished, then the
+// mapping is sealed read+exec and never written again. (A bump allocator
+// that flips a shared chunk read-write during the copy would race with
+// other host threads executing previously installed traces in that chunk.)
 class NativeArena {
  public:
   ~NativeArena() {
@@ -26,34 +30,27 @@ class NativeArena {
   /// Copies `len` bytes of code into executable memory; null on mmap/
   /// mprotect failure (the caller then falls back to the portable tier).
   const void* install(const std::uint8_t* code, std::size_t len) {
-    constexpr std::size_t kAlign = 16;
-    if (chunks_.empty() || chunks_.back().used + len + kAlign >
-                               chunks_.back().size) {
-      constexpr std::size_t kDefault = 256 * 1024;
-      const std::size_t page = 4096;
-      std::size_t size = len + kAlign > kDefault ? len + kAlign : kDefault;
-      size = (size + page - 1) & ~(page - 1);
-      void* base = ::mmap(nullptr, size, PROT_READ | PROT_EXEC,
-                          MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-      if (base == MAP_FAILED) return nullptr;
-      chunks_.push_back(Chunk{static_cast<std::uint8_t*>(base), size, 0});
+    const std::size_t page = 4096;
+    const std::size_t size = (len + page - 1) & ~(page - 1);
+    void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) return nullptr;
+    std::memcpy(base, code, len);
+    if (::mprotect(base, size, PROT_READ | PROT_EXEC) != 0) {
+      ::munmap(base, size);
+      return nullptr;
     }
-    Chunk& c = chunks_.back();
-    c.used = (c.used + kAlign - 1) & ~(kAlign - 1);
-    std::uint8_t* dst = c.base + c.used;
-    if (::mprotect(c.base, c.size, PROT_READ | PROT_WRITE) != 0) return nullptr;
-    std::memcpy(dst, code, len);
-    if (::mprotect(c.base, c.size, PROT_READ | PROT_EXEC) != 0) return nullptr;
-    c.used += len;
-    return dst;
+    std::lock_guard<std::mutex> lk(mu_);
+    chunks_.push_back(Chunk{static_cast<std::uint8_t*>(base), size});
+    return base;
   }
 
  private:
   struct Chunk {
     std::uint8_t* base;
     std::size_t size;
-    std::size_t used;
   };
+  std::mutex mu_;
   std::vector<Chunk> chunks_;
 };
 
@@ -276,11 +273,8 @@ const void* compile_superblock_native(ir::SuperblockCache& cache,
   }
   for (const Fix& f : fixes) e.patch_rel32(f.at, stubs[f.stub].offset);
 
-  auto arena = std::static_pointer_cast<NativeArena>(cache.native_arena());
-  if (!arena) {
-    arena = std::make_shared<NativeArena>();
-    cache.set_native_arena(arena);
-  }
+  auto arena = std::static_pointer_cast<NativeArena>(cache.ensure_native_arena(
+      []() -> std::shared_ptr<void> { return std::make_shared<NativeArena>(); }));
   return arena->install(e.data(), e.size());
 }
 

@@ -58,12 +58,25 @@ std::unique_ptr<Superblock> SuperblockBuilder::finish() {
 }
 
 void SuperblockCache::install(std::unique_ptr<Superblock> sb) {
-  std::uint32_t ip = sb->entry_ip;
-  ST_CHECK_MSG(ip < sites_.size() && !sites_[ip].sb,
-               "superblock: duplicate install");
-  recorded_instrs_ += sb->code.size();
-  ++compiled_;
-  sites_[ip].sb = std::move(sb);
+  const std::uint32_t ip = sb->entry_ip;
+  Superblock* raw = sb.get();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ST_CHECK_MSG(ip < sites_.size() &&
+                     sites_[ip].sb.load(std::memory_order_relaxed) == nullptr,
+                 "superblock: duplicate install");
+    recorded_instrs_ += sb->code.size();
+    ++compiled_;
+    owned_.push_back(std::move(sb));
+  }
+  sites_[ip].sb.store(raw, std::memory_order_release);
+}
+
+std::shared_ptr<void> SuperblockCache::ensure_native_arena(
+    std::shared_ptr<void> (*make)()) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!native_arena_) native_arena_ = make();
+  return native_arena_;
 }
 
 }  // namespace st::ir

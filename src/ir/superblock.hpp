@@ -26,8 +26,10 @@
 // owner so code lifetime is tied to the cache.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ir/instr.hpp"
@@ -76,8 +78,11 @@ struct Superblock {
   /// the cache's native arena.
   const void* native = nullptr;
   /// Host-side introspection (never feeds back into simulated results).
-  std::uint64_t runs = 0;
-  std::uint64_t off_trace_exits = 0;
+  /// Relaxed atomics: one cache is shared by every simulated core of a
+  /// machine, and under the parallel engine (sim/machine.hpp) cores on
+  /// different host threads execute the same trace concurrently.
+  std::atomic<std::uint64_t> runs{0};
+  std::atomic<std::uint64_t> off_trace_exits{0};
 };
 
 /// Incremental trace constructor driven by the recording interpreter.
@@ -118,33 +123,53 @@ class SuperblockBuilder {
 /// position. Owned by the Function alongside its DecodedCode and dropped
 /// together with it on invalidation (module changes re-decode, so stale
 /// traces can never execute).
+///
+/// Thread safety: one cache is shared by all cores of a machine, and the
+/// parallel engine executes pure steps — including trace lookup, profiling
+/// and recording — from multiple host threads. The hot path is lock-free:
+/// lookup is an acquire load of the installed-trace pointer and bump is a
+/// relaxed fetch_add (each count value is returned to exactly one thread,
+/// so exactly one recorder reaches the threshold per site). install
+/// publishes with a release store and keeps ownership in a mutex-guarded
+/// side vector; sites_ itself is never resized after construction.
 class SuperblockCache {
  public:
   explicit SuperblockCache(std::size_t code_len) : sites_(code_len) {}
 
-  Superblock* lookup(std::uint32_t ip) { return sites_[ip].sb.get(); }
+  Superblock* lookup(std::uint32_t ip) {
+    return sites_[ip].sb.load(std::memory_order_acquire);
+  }
   /// Bumps and returns the step-entry execution counter for `ip`.
-  std::uint32_t bump(std::uint32_t ip) { return ++sites_[ip].count; }
+  std::uint32_t bump(std::uint32_t ip) {
+    return sites_[ip].count.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   void install(std::unique_ptr<Superblock> sb);
 
   std::size_t sites() const { return sites_.size(); }
-  unsigned compiled() const { return compiled_; }
-  std::uint64_t recorded_instrs() const { return recorded_instrs_; }
+  unsigned compiled() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return compiled_;
+  }
+  std::uint64_t recorded_instrs() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return recorded_instrs_;
+  }
 
   /// Opaque owner of the native backend's executable-memory arena; machine
   /// code referenced by Superblock::native lives exactly as long as this.
-  const std::shared_ptr<void>& native_arena() const { return native_arena_; }
-  void set_native_arena(std::shared_ptr<void> a) {
-    native_arena_ = std::move(a);
-  }
+  /// Created at most once, under the cache lock, so two cores compiling
+  /// concurrently share one arena instead of leaking each other's code.
+  std::shared_ptr<void> ensure_native_arena(std::shared_ptr<void> (*make)());
 
  private:
   struct Site {
-    std::uint32_t count = 0;
-    std::unique_ptr<Superblock> sb;
+    std::atomic<std::uint32_t> count{0};
+    std::atomic<Superblock*> sb{nullptr};
   };
   std::vector<Site> sites_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Superblock>> owned_;
   unsigned compiled_ = 0;
   std::uint64_t recorded_instrs_ = 0;
   std::shared_ptr<void> native_arena_;

@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "sim/machine.hpp"
+
 namespace st::obs {
 
 using sim::CoreStats;
+
+namespace {
+
+void write_hist_json(std::FILE* f, const Log2Hist& h) {
+  std::fprintf(f,
+               "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"max\": %" PRIu64
+               ", \"mean\": %.6g, \"buckets\": [",
+               h.samples, h.sum, h.max, h.mean());
+  unsigned last = 0;
+  for (unsigned i = 0; i < Log2Hist::kBuckets; ++i)
+    if (h.buckets[i] != 0) last = i + 1;
+  for (unsigned i = 0; i < last; ++i)
+    std::fprintf(f, "%s%" PRIu64, i == 0 ? "" : ", ", h.buckets[i]);
+  std::fprintf(f, "]}");
+}
+
+}  // namespace
 
 const std::vector<CounterDef>& counter_registry() {
   static const std::vector<CounterDef> kCounters = {
@@ -69,21 +88,26 @@ void write_core_stats_json(std::FILE* f, const CoreStats& cs) {
   std::fprintf(f, ", \"hists\": {");
   first = true;
   for (const HistDef& d : hist_registry()) {
-    const Log2Hist& h = cs.*d.member;
-    std::fprintf(f,
-                 "%s\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
-                 ", \"max\": %" PRIu64 ", \"mean\": %.6g, \"buckets\": [",
-                 first ? "" : ", ", d.name, h.samples, h.sum, h.max,
-                 h.mean());
+    std::fprintf(f, "%s\"%s\": ", first ? "" : ", ", d.name);
     first = false;
-    unsigned last = 0;
-    for (unsigned i = 0; i < Log2Hist::kBuckets; ++i)
-      if (h.buckets[i] != 0) last = i + 1;
-    for (unsigned i = 0; i < last; ++i)
-      std::fprintf(f, "%s%" PRIu64, i == 0 ? "" : ", ", h.buckets[i]);
-    std::fprintf(f, "]}");
+    write_hist_json(f, cs.*d.member);
   }
   std::fprintf(f, "}");
+}
+
+void write_host_par_json(std::FILE* f, const sim::ParStats& par) {
+  std::fprintf(f,
+               "{\"windows\": %" PRIu64 ", \"inline_windows\": %" PRIu64
+               ", \"window_steps\": %" PRIu64 ", \"drain_steps\": %" PRIu64
+               ", \"window_cores\": ",
+               par.windows, par.inline_windows, par.window_steps,
+               par.drain_steps);
+  write_hist_json(f, par.window_cores);
+  std::fprintf(f, ", \"barrier_wait_ns\": [");
+  for (std::size_t w = 0; w < par.barrier_wait_ns.size(); ++w)
+    std::fprintf(f, "%s%" PRIu64, w == 0 ? "" : ", ",
+                 par.barrier_wait_ns[w]);
+  std::fprintf(f, "]}");
 }
 
 }  // namespace st::obs

@@ -13,6 +13,10 @@
 
 #include "sim/stats.hpp"
 
+namespace st::sim {
+struct ParStats;
+}
+
 namespace st::obs {
 
 enum class Merge : std::uint8_t {
@@ -42,5 +46,13 @@ void merge_core_stats(sim::CoreStats& into, const sim::CoreStats& c);
 /// every registered counter, then a "hists" object with count/sum/max/mean
 /// and the log2 bucket array (trailing zero buckets trimmed) per histogram.
 void write_core_stats_json(std::FILE* f, const sim::CoreStats& cs);
+
+/// Serializes the parallel engine's host-side counters (sim/machine.hpp
+/// ParStats) as one JSON object (with braces): windows, window/drain step
+/// split, the window-cycles histogram (same shape as the "hists" entries
+/// above), and per-worker barrier-wait nanoseconds. Host-side only — these
+/// values vary across STAGTM_THREADS settings and are excluded from
+/// differential comparisons, exactly like wall_ms.
+void write_host_par_json(std::FILE* f, const sim::ParStats& par);
 
 }  // namespace st::obs

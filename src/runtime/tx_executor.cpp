@@ -173,6 +173,24 @@ std::uint64_t TxExecutor::take_result() {
   return result_;
 }
 
+bool TxExecutor::next_step_local() const {
+  switch (state_) {
+    case State::kRunning:
+      // A pure next instruction keeps the entire step inside this core's
+      // interpreter frame. A pending abort stamp does NOT matter here:
+      // run_step observes stamps only at boundary instructions, so a
+      // doomed attempt's remaining pure instructions retire identically
+      // whether the stamp is visible yet or not.
+      return spec_interp_->next_is_pure();
+    case State::kIrrevRunning:
+      // Irrevocable execution holds the global lock and cannot abort; its
+      // pure runs are as private as speculative ones.
+      return plain_interp_->next_is_pure();
+    default:
+      return false;
+  }
+}
+
 sim::Cycle TxExecutor::step(sim::Cycle budget) {
   switch (state_) {
     case State::kBeginAttempt: return begin_attempt();
@@ -236,7 +254,17 @@ sim::Cycle TxExecutor::begin_attempt() {
 }
 
 sim::Cycle TxExecutor::run_step(sim::Cycle budget) {
-  if (sys_.htm().pending_abort(core_)) return handle_abort(AbortCause::None);
+  // An asynchronous (cross-core) abort stamp is observed at the next
+  // boundary instruction, never between pure-register instructions: the
+  // doomed attempt keeps retiring (and the abort discards the work), just
+  // as a real core keeps retiring until the abort interrupt lands. With
+  // observation points restricted to synchronizing steps, the abort's
+  // timing is a function of the victim's own instruction stream — not of
+  // when between two boundaries the stamp landed — which is the invariant
+  // that lets the parallel engine (sim/machine.hpp, DESIGN.md §13) run
+  // pure steps inside lookahead windows without consulting shared state.
+  if (!spec_interp_->next_is_pure() && sys_.htm().pending_abort(core_))
+    return handle_abort(AbortCause::None);
   last_step_lock_wait_ = false;
   const auto s = spec_interp_->step(budget);
   if (s.aborted) {

@@ -43,6 +43,15 @@ class TxExecutor {
   /// instructions still execute one per step.
   sim::Cycle step(sim::Cycle budget = 1);
 
+  /// True when the next step() call is guaranteed window-local: it executes
+  /// a fused run of pure-register instructions entirely inside this core's
+  /// interpreter frame — no memory system, advisory locks, policy, RNG,
+  /// commit log, or tracing. Everything else (begin/commit/abort handling,
+  /// boundary instructions, lock spins, backoff) is a synchronizing step.
+  /// The parallel machine (sim/machine.hpp) consults this through
+  /// CoreTask::next_step_local.
+  bool next_step_local() const;
+
   sim::CoreId core() const { return core_; }
   TxSystem& system() { return sys_; }
 

@@ -37,6 +37,7 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
                "TxSystem needs a compiled, finalized program");
   cfg_.mem.cores = cfg_.cores;
   machine_.set_step_fusion(cfg_.macrostep);
+  machine_.set_host_threads(cfg_.host_threads);
   if (cfg_.trace.enabled())
     trace_ = std::make_unique<obs::TraceSink>(
         cfg_.cores, cfg_.trace.cap_per_core, cfg_.trace.mask);

@@ -65,13 +65,21 @@ Addr Heap::alloc_line_aligned(unsigned arena, std::size_t size) {
 }
 
 void Heap::dealloc(Addr a) {
+  ST_CHECK_MSG(try_dealloc(a), "dealloc of unknown block");
+}
+
+bool Heap::try_dealloc(Addr a) {
   auto it = block_sizes_.find(a);
-  ST_CHECK_MSG(it != block_sizes_.end(), "dealloc of unknown block");
+  if (it == block_sizes_.end()) {
+    ++invalid_frees_;
+    return false;
+  }
   const unsigned arena = it->second >> 24;
   const std::size_t cls = std::size_t{1} << (it->second & 0xFF);
   block_sizes_.erase(it);
   bytes_allocated_ -= cls;
   arenas_[arena].free_lists[cls].push_back(a);
+  return true;
 }
 
 std::byte* Heap::backing(Addr a) {

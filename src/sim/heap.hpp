@@ -36,6 +36,14 @@ class Heap {
   /// Return a block obtained from alloc(). Size is remembered internally.
   void dealloc(Addr a);
 
+  /// Non-aborting variant for frees issued by the *simulated program* (the
+  /// HTM Free paths): a corrupted execution under a deliberately-broken
+  /// build (checker mode) can double-free or free a wild address, and that
+  /// must surface as a reportable verdict, not kill the host process.
+  /// Returns false and bumps invalid_frees() when `a` is not a live block.
+  bool try_dealloc(Addr a);
+  std::uint64_t invalid_frees() const { return invalid_frees_; }
+
   /// Raw value access; size in {1,2,4,8}; `a` must be size-aligned and not
   /// cross a cache line. Loads of never-stored memory return 0.
   std::uint64_t load(Addr a, unsigned size) const;
@@ -70,6 +78,7 @@ class Heap {
   std::size_t mem_size_ = 0;
   std::unordered_map<Addr, std::uint32_t> block_sizes_;  // addr -> arena<<24|class
   std::size_t bytes_allocated_ = 0;
+  std::uint64_t invalid_frees_ = 0;
 
   static constexpr Addr kBase = 0x10000;  // keep low addresses invalid
 };

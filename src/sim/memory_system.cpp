@@ -8,7 +8,7 @@ namespace st::sim {
 
 MemorySystem::MemorySystem(const MemConfig& cfg, MachineStats& stats)
     : cfg_(cfg), stats_(stats), l3_(cfg.l3) {
-  ST_CHECK(cfg.cores >= 1 && cfg.cores <= 32);
+  ST_CHECK(cfg.cores >= 1 && cfg.cores <= kMaxCores);
   ST_CHECK(cfg.pc_tag_bits >= 1 && cfg.pc_tag_bits <= 16);
   l1_.reserve(cfg.cores);
   l2_.reserve(cfg.cores);
@@ -42,9 +42,9 @@ bool MemorySystem::conflict_check(CoreId remote, Addr line, AccessKind kind,
 void MemorySystem::dir_drop(CoreId c, Addr line) {
   DirEntry* e = dir_probe(c, line);
   if (e == nullptr) return;
-  e->sharers &= ~(1u << c);
+  e->sharers.clear(c);
   if (e->owner == static_cast<int>(c)) e->owner = -1;
-  if (e->sharers == 0) dir_.erase(line);
+  if (e->sharers.none()) dir_.erase(line);
 }
 
 void MemorySystem::invalidate_remote(CoreId remote, Addr line, DirEntry& d) {
@@ -55,7 +55,7 @@ void MemorySystem::invalidate_remote(CoreId remote, Addr line, DirEntry& d) {
     // still routes through the log so the log stays exact regardless.
     l1_[remote]->clear_line_speculative(*rl);
   }
-  d.sharers &= ~(1u << remote);
+  d.sharers.clear(remote);
   if (d.owner == static_cast<int>(remote)) d.owner = -1;
 }
 
@@ -99,18 +99,18 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       // erase may relocate ours), so the directory is re-probed per victim
       // only after a conflict instead of unconditionally twice.
       DirEntry* e = dir_probe(c, line);
-      for (std::uint32_t m = (e == nullptr ? 0 : e->sharers) & ~(1u << c);
-           m != 0; m &= m - 1) {
-        const CoreId s = static_cast<CoreId>(std::countr_zero(m));
+      SharerMask m = e == nullptr ? SharerMask{} : e->sharers;
+      m.clear(c);
+      m.for_each_set([&](CoreId s) {
         if (conflict_check(s, line, kind, c)) e = dir_probe(c, line);
-        if (e == nullptr) continue;
+        if (e == nullptr) return;
         invalidate_remote(s, line, *e);
-        if (e->sharers == 0) {
+        if (e->sharers.none()) {
           dir_.erase(line);
           ++stats_.core(c).dir_probes;
           e = nullptr;
         }
-      }
+      });
       out.latency += (l != nullptr) ? cfg_.dir_lat        // upgrade S/O -> M
                                     : cfg_.dir_lat + fill_latency(c, line);
     } else {  // Load miss
@@ -158,11 +158,12 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       l->state = Coh::M;
       d2.owner = static_cast<int>(c);
     } else {
-      const std::uint32_t others = d2.sharers & ~(1u << c);
-      l->state = (others == 0 && d2.owner < 0) ? Coh::E : Coh::S;
+      SharerMask others = d2.sharers;
+      others.clear(c);
+      l->state = (others.none() && d2.owner < 0) ? Coh::E : Coh::S;
       if (l->state == Coh::E) d2.owner = static_cast<int>(c);
     }
-    d2.sharers |= 1u << c;
+    d2.sharers.set(c);
   }
 
   l1.touch(*l);
@@ -195,18 +196,18 @@ Cycle MemorySystem::publish_line(CoreId c, Addr line) {
   Cycle lat = cfg_.dir_lat;
   // Same probe-hoisting discipline as the store-invalidate loop in access().
   DirEntry* e = dir_probe(c, line);
-  for (std::uint32_t m = (e == nullptr ? 0 : e->sharers) & ~(1u << c);
-       m != 0; m &= m - 1) {
-    const CoreId s = static_cast<CoreId>(std::countr_zero(m));
+  SharerMask m = e == nullptr ? SharerMask{} : e->sharers;
+  m.clear(c);
+  m.for_each_set([&](CoreId s) {
     if (conflict_check(s, line, AccessKind::Store, c)) e = dir_probe(c, line);
-    if (e == nullptr) continue;
+    if (e == nullptr) return;
     invalidate_remote(s, line, *e);
-    if (e->sharers == 0) {
+    if (e->sharers.none()) {
       dir_.erase(line);
       ++stats_.core(c).dir_probes;
       e = nullptr;
     }
-  }
+  });
   L1Line* l = l1_[c]->find(line);
   ST_CHECK_MSG(l != nullptr, "publishing a line not in the committer's L1");
   l->state = Coh::M;
@@ -214,7 +215,7 @@ Cycle MemorySystem::publish_line(CoreId c, Addr line) {
     e = &dir_.get_or_insert(line);
     ++stats_.core(c).dir_probes;
   }
-  e->sharers |= 1u << c;
+  e->sharers.set(c);
   e->owner = static_cast<int>(c);
   return lat;
 }
@@ -244,9 +245,9 @@ unsigned MemorySystem::speculative_lines(CoreId c) const {
   return static_cast<unsigned>(l1_[c]->speculative_line_count());
 }
 
-std::uint32_t MemorySystem::dir_sharers(Addr line) const {
+SharerMask MemorySystem::dir_sharers(Addr line) const {
   const DirEntry* e = dir_.find(line_addr(line));
-  return e == nullptr ? 0 : e->sharers;
+  return e == nullptr ? SharerMask{} : e->sharers;
 }
 
 int MemorySystem::dir_owner(Addr line) const {
@@ -257,13 +258,14 @@ int MemorySystem::dir_owner(Addr line) const {
 void MemorySystem::check_invariants() const {
   for (unsigned c = 0; c < cfg_.cores; ++c) l1_[c]->check_log_invariants();
   dir_.for_each([&](Addr line, const DirEntry& d) {
-    ST_CHECK_MSG(d.sharers != 0, "directory entry with no sharers");
+    ST_CHECK_MSG(d.sharers.any(), "directory entry with no sharers");
     if (d.owner >= 0)
-      ST_CHECK_MSG(d.sharers & (1u << d.owner), "owner not in sharer set");
+      ST_CHECK_MSG(d.sharers.test(static_cast<CoreId>(d.owner)),
+                   "owner not in sharer set");
     unsigned writable = 0;
     for (unsigned c = 0; c < cfg_.cores; ++c) {
       const L1Line* l = l1_[c]->find(line);
-      const bool shares = (d.sharers >> c) & 1u;
+      const bool shares = d.sharers.test(c);
       ST_CHECK_MSG((l != nullptr) == shares, "directory/L1 presence mismatch");
       if (l != nullptr && coh_can_write(l->state)) {
         ++writable;

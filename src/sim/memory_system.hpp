@@ -110,14 +110,14 @@ class MemorySystem {
   const L1Line* peek_l1(CoreId c, Addr line) const { return l1_[c]->find(line); }
   /// Read-only view of a core's L1, for brute-force differential sweeps.
   const L1Cache& peek_l1_cache(CoreId c) const { return *l1_[c]; }
-  std::uint32_t dir_sharers(Addr line) const;
+  SharerMask dir_sharers(Addr line) const;
   int dir_owner(Addr line) const;
   /// Aborts the process if a directory/L1 consistency invariant is broken.
   void check_invariants() const;
 
  private:
   struct DirEntry {
-    std::uint32_t sharers = 0;
+    SharerMask sharers;
     int owner = -1;
   };
 

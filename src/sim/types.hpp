@@ -1,6 +1,8 @@
 // Fundamental simulator types shared across all layers.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
 namespace st::sim {
@@ -13,6 +15,49 @@ using Cycle = std::uint64_t;
 
 /// Core (= hardware thread) identifier, dense from 0.
 using CoreId = unsigned;
+
+/// Upper bound on simulated cores per machine. The directory sharer sets
+/// (SharerMask below) and every `cores` config check size to this.
+inline constexpr unsigned kMaxCores = 256;
+
+/// Fixed-width bitset over core ids, one bit per possible sharer. A plain
+/// value type (copyable, comparable) so directory entries stay POD-ish;
+/// iteration uses countr_zero per word, so sparse sets cost O(words + bits
+/// set) rather than O(kMaxCores).
+struct SharerMask {
+  std::array<std::uint64_t, kMaxCores / 64> w{};
+
+  constexpr void set(CoreId c) { w[c >> 6] |= std::uint64_t{1} << (c & 63); }
+  constexpr void clear(CoreId c) {
+    w[c >> 6] &= ~(std::uint64_t{1} << (c & 63));
+  }
+  constexpr bool test(CoreId c) const {
+    return (w[c >> 6] >> (c & 63)) & 1;
+  }
+  constexpr bool none() const {
+    for (std::uint64_t v : w)
+      if (v != 0) return false;
+    return true;
+  }
+  constexpr bool any() const { return !none(); }
+  constexpr unsigned count() const {
+    unsigned n = 0;
+    for (std::uint64_t v : w) n += static_cast<unsigned>(std::popcount(v));
+    return n;
+  }
+  /// The low 64 bits, for tests written against the old uint32_t mask.
+  constexpr std::uint64_t low64() const { return w[0]; }
+  constexpr bool operator==(const SharerMask&) const = default;
+
+  /// Calls fn(CoreId) for every set bit, in increasing core order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (unsigned i = 0; i < w.size(); ++i)
+      for (std::uint64_t v = w[i]; v != 0; v &= v - 1)
+        fn(static_cast<CoreId>(i * 64 +
+                               static_cast<unsigned>(std::countr_zero(v))));
+  }
+};
 
 inline constexpr unsigned kLineShift = 6;
 inline constexpr Addr kLineBytes = 64;

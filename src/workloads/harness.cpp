@@ -40,6 +40,14 @@ class WorkloadThread final : public sim::CoreTask {
 
   bool done() const override { return finished_; }
 
+  /// Window-local iff the executor's next step is a fused pure-register
+  /// run. Think-time scheduling, op dispatch, and result collection all
+  /// touch the workload/stats/RNG, so they stay synchronizing steps.
+  bool next_step_local(const sim::Machine&, sim::CoreId) const override {
+    return !finished_ && active_ && !exec_.finished() &&
+           exec_.next_step_local();
+  }
+
  private:
   runtime::TxSystem& sys_;
   Workload& wl_;
@@ -129,6 +137,7 @@ runtime::RuntimeConfig make_runtime_config(const RunOptions& opt) {
   rt.policy = opt.policy;
   rt.policy.addr_only = opt.scheme == runtime::Scheme::kAddrOnly;
   rt.macrostep = opt.macrostep;
+  rt.host_threads = opt.host_threads;
   rt.jit = opt.jit;
   rt.record_commits = opt.checked;
   rt.unsafe_skip_subscription = opt.unsafe_skip_subscription;
@@ -192,6 +201,11 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
         stalled ? "no commit progress in 4000000 cycles (likely a "
                   "non-terminating corrupted execution)"
                 : wl.check_invariants(sys);
+    if (r.invariant_failure.empty() && sys.heap().invalid_frees() > 0)
+      r.invariant_failure =
+          "simulated program freed " +
+          std::to_string(sys.heap().invalid_frees()) +
+          " non-live block(s) (double free / wild free)";
     if (r.invariant_failure.empty()) r.state_digest = wl.state_digest(sys);
     if (runtime::CommitLog* log = sys.commit_log())
       r.commit_log = std::make_shared<runtime::CommitLog>(std::move(*log));
@@ -242,6 +256,8 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
   r.wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - wall_start)
                   .count();
+  r.host_threads = sys.machine().host_threads();
+  r.par = sys.machine().par_stats();
   return r;
 }
 

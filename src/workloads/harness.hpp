@@ -28,6 +28,12 @@ struct RunOptions {
   /// fused vs single-stepped executions in one process. The STAGTM_MACROSTEP
   /// env knob sets the process-wide default.
   bool macrostep = sim::Machine::default_step_fusion();
+  /// Host worker threads sharding the event loop (sim/machine.hpp parallel
+  /// deterministic engine, DESIGN.md §13). Host-side like macrostep:
+  /// simulated results are bit-identical for any value (CI-enforced).
+  /// Defaults to the STAGTM_THREADS env knob (unset = 1 = serial loop);
+  /// the runner caps jobs x host_threads at hardware concurrency.
+  unsigned host_threads = sim::Machine::default_host_threads();
   /// Interpreter execution tier (interp/jit.hpp). Host-side like macrostep:
   /// simulated results are identical across tiers (CI-enforced). Defaults
   /// to the STAGTM_JIT / STAGTM_JIT_THRESHOLD / STAGTM_JIT_CAP env knobs.
@@ -75,9 +81,16 @@ struct RunResult {
   unsigned static_loads_stores = 0;   // Table 3 statics
   unsigned static_anchors = 0;
   unsigned atomic_blocks = 0;
-  /// Host wall-clock time this run took (not simulated time; the only
-  /// non-deterministic field — everything above is bit-reproducible).
+  /// Host wall-clock time this run took (not simulated time; like the
+  /// par/host_threads fields below it is host-side only — everything above
+  /// is bit-reproducible).
   double wall_ms = 0;
+  /// Effective host worker-thread count the machine ran with (after any
+  /// runner oversubscription cap) and the parallel engine's host-side
+  /// counters (windows, window/drain step split, barrier waits). All
+  /// host-side: excluded from differential comparisons.
+  unsigned host_threads = 1;
+  sim::ParStats par;
   /// Schedule-perturbation provenance ("off" when no perturbation ran).
   std::string sched_mode = "off";
   std::uint64_t sched_seed = 0;

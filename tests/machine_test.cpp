@@ -97,7 +97,7 @@ TEST(Machine, AdvanceClockAddsIdleTime) {
 
 TEST(Machine, CoreCountValidated) {
   EXPECT_DEATH(Machine m(0), "");
-  EXPECT_DEATH(Machine m(33), "");
+  EXPECT_DEATH(Machine m(kMaxCores + 1), "");
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ TEST(MemorySystem, SecondLoaderDemotesToShared) {
   EXPECT_EQ(f.mem->peek_l1(1, line_addr(A))->state, Coh::S);
   // The former exclusive owner forwards and keeps an owner-ish copy.
   EXPECT_EQ(f.mem->peek_l1(0, line_addr(A))->state, Coh::O);
-  EXPECT_EQ(f.mem->dir_sharers(A), 0b11u);
+  EXPECT_EQ(f.mem->dir_sharers(A).low64(), 0b11u);
 }
 
 TEST(MemorySystem, StoreInvalidatesOtherSharers) {

@@ -199,7 +199,7 @@ class Sweep {
       // Parallel-engine host counters (host-side like wall_ms: excluded
       // from differential comparisons).
       std::fprintf(f, "\n     \"host_par\": ");
-      obs::write_host_par_json(f, r->par);
+      obs::write_host_par_json(f, r->par, &r->privacy);
       std::fprintf(f, ",\n     \"totals\": {");
       // Full metric set, registry-driven: every counter + log2 histogram,
       // aggregated and per core (obs/metrics.hpp).

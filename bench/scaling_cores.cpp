@@ -43,7 +43,13 @@ int main() {
   print_header("Core scaling: simulated throughput vs simulated cores");
 
   const unsigned counts[] = {16, 32, 64, 128, 256};
-  const char* names[] = {"ssca2", "kmeans"};
+  // ssca2/kmeans allocate their shared structures in the setup arena, so
+  // their lines are born shared and the private-line fast paths see no
+  // traffic (dir_probes off == on, a useful null result). genome allocates
+  // hashtable nodes inside transactions — each node is private to its
+  // allocating core until the commit that links it — so it exercises the
+  // classification: expect a visible dir_probes reduction.
+  const char* names[] = {"ssca2", "kmeans", "genome"};
   const unsigned rounds = static_cast<unsigned>(
       env_u64("STAGTM_ROUNDS", 3, 1, 100, "an integer in [1,100]"));
   const unsigned host_threads = sim::Machine::default_host_threads();
@@ -83,6 +89,31 @@ int main() {
                    "[%s cores=%u serial=%.1fms parallel=%.1fms "
                    "host_speedup=%.2fx]\n",
                    name, cores, s, p, p > 0 ? s / p : 0.0);
+      // Private-line classification twins (DESIGN.md §14): every simulated
+      // result must be identical off vs on; the one intended delta is the
+      // directory-probe count (private-line hits skip the directory).
+      // dir_probes is reported here on stderr so stdout stays byte-
+      // comparable across STAGTM_THREADS *and* STAGTM_PRIVATE. One core
+      // count is enough for the record (BENCH_parallel.json) — the 128/256
+      // configurations are expensive and the reduction is size-stable.
+      if (cores != 64) continue;
+      o.host_threads = 1;
+      o.private_lines = false;
+      const workloads::RunResult off = workloads::run_workload(name, o);
+      o.private_lines = true;
+      const workloads::RunResult on = workloads::run_workload(name, o);
+      check_identical(off, on);
+      check_identical(shown, on);
+      const auto po = off.totals.dir_probes, pn = on.totals.dir_probes;
+      std::fprintf(stderr,
+                   "[%s cores=%u dir_probes off=%llu on=%llu "
+                   "reduction=%.1f%%]\n",
+                   name, cores, static_cast<unsigned long long>(po),
+                   static_cast<unsigned long long>(pn),
+                   po ? 100.0 *
+                            (static_cast<double>(po) - static_cast<double>(pn)) /
+                            static_cast<double>(po)
+                      : 0.0);
     }
   }
   return 0;

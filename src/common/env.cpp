@@ -40,6 +40,15 @@ bool env_flag01(const char* name, bool dflt) {
   env_fail(name, s, "0 or 1");
 }
 
+bool env_onoff(const char* name, bool dflt) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return dflt;
+  const std::string_view v(s);
+  if (v == "on" || v == "1") return true;
+  if (v == "off" || v == "0") return false;
+  env_fail(name, s, "off or on");
+}
+
 std::string env_str(const char* name) {
   const char* s = std::getenv(name);
   return s == nullptr ? std::string() : std::string(s);

@@ -27,6 +27,10 @@ double env_positive_double(const char* name, double dflt);
 /// Boolean knob: unset -> dflt, "1" -> true, "0" -> false, else exit 2.
 bool env_flag01(const char* name, bool dflt);
 
+/// Boolean knob with word spellings: unset -> dflt, "on"/"1" -> true,
+/// "off"/"0" -> false, else exit 2.
+bool env_onoff(const char* name, bool dflt);
+
 /// String knob: unset or empty -> "".
 std::string env_str(const char* name);
 

@@ -42,9 +42,14 @@ void HtmSystem::on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
     stats_.record_abort({victim, line, first_pc, pc_tag,
                          clock_ ? clock_() : 0});
   }
-  // Requester-wins: the victim's speculative lines must vanish immediately
-  // so the requester observes committed data.
-  mem_.clear_speculative(victim, /*invalidate_written=*/true);
+  // Requester-wins: the victim's speculatively written *shared* lines must
+  // vanish immediately so the requester observes committed data. This stamp
+  // executes during the requester's step, so it must leave everything the
+  // victim's window-local steps read untouched: lines still private to the
+  // victim (no requester can name one) keep their residency and marks, and
+  // the speculative log stays whole until the victim's own abort() drains
+  // it at its next synchronizing step.
+  mem_.invalidate_speculative_writes(victim);
 }
 
 AbortInfo HtmSystem::abort(CoreId c, AbortCause self_cause) {
@@ -54,8 +59,12 @@ AbortInfo HtmSystem::abort(CoreId c, AbortCause self_cause) {
     tx.info = AbortInfo{};
     tx.info.cause = self_cause == AbortCause::None ? AbortCause::Explicit
                                                    : self_cause;
-    mem_.clear_speculative(c, /*invalidate_written=*/true);
   }
+  // This runs at the victim's own synchronizing step, so the full drain is
+  // window-safe here: it clears the marks and log the cross-core stamp left
+  // in place, invalidates any written lines the stamp exempted as private,
+  // and records the spec-log high-water mark at a deterministic point.
+  mem_.clear_speculative(c, /*invalidate_written=*/true);
   switch (tx.info.cause) {
     case AbortCause::Conflict: ++stats_.core(c).aborts_conflict; break;
     case AbortCause::Capacity: ++stats_.core(c).aborts_capacity; break;
@@ -102,7 +111,7 @@ bool HtmSystem::commit(CoreId c, Cycle* publish_latency) {
   // (O(1): the speculative-line log length). Recorded before the log is
   // drained below.
   stats_.core(c).h_spec_footprint.add(mem_.speculative_lines(c));
-  drain_wb(tx);
+  drain_wb(c, tx);
   mem_.clear_speculative(c, /*invalidate_written=*/false);
   for (Addr a : tx.deferred_frees) heap_.try_dealloc(a);
   tx.deferred_frees.clear();
@@ -171,7 +180,7 @@ void HtmSystem::write_to_wb(TxState& tx, Addr a, std::uint64_t v,
   }
 }
 
-void HtmSystem::drain_wb(TxState& tx) {
+void HtmSystem::drain_wb(CoreId c, TxState& tx) {
   for (const auto& [chunk, wc] : tx.wb) {
     const Addr base = chunk << 3;
     std::uint64_t v = heap_.load(base, 8);
@@ -182,6 +191,10 @@ void HtmSystem::drain_wb(TxState& tx) {
       }
     }
     heap_.store(base, v, 8);
+    // Commit is the publication point for transactional stores (aborted
+    // attempts publish nothing): the merged chunk value just became
+    // committed, shared-readable data.
+    publish_stored_value(c, base, v, 0);
   }
 }
 
@@ -190,7 +203,13 @@ HtmSystem::MemOp HtmSystem::load(CoreId c, Addr a, unsigned size,
   TxState& tx = tx_[c];
   ST_CHECK_MSG(tx.active, "transactional load outside a transaction");
   MemOp r;
-  if (tx.pending_abort) {
+  // A pending abort is observed only at non-commuting accesses: a hit on a
+  // line still private to this core touches no shared state, so letting the
+  // doomed transaction run through it keeps abort delivery a deterministic
+  // function of the instruction stream for any window placement (the window
+  // classifier treats exactly these accesses as window-local). Knob- and
+  // thread-independent by construction of private_hit.
+  if (tx.pending_abort && !mem_.private_hit(c, a)) {
     r.ok = false;
     return r;
   }
@@ -211,7 +230,10 @@ HtmSystem::MemOp HtmSystem::store(CoreId c, Addr a, std::uint64_t v,
   TxState& tx = tx_[c];
   ST_CHECK_MSG(tx.active, "transactional store outside a transaction");
   MemOp r;
-  if (tx.pending_abort) {
+  // Same boundary discipline as load(): private-line hits commute with the
+  // pending abort (the write buffer and speculative marks are rolled back
+  // wholesale when it lands).
+  if (tx.pending_abort && !mem_.private_hit(c, a)) {
     r.ok = false;
     return r;
   }
@@ -238,11 +260,12 @@ HtmSystem::MemOp HtmSystem::plain_load(CoreId c, Addr a, unsigned size) {
 }
 
 HtmSystem::MemOp HtmSystem::plain_store(CoreId c, Addr a, std::uint64_t v,
-                                        unsigned size) {
+                                        unsigned size, std::uint32_t pc) {
   ST_CHECK_MSG(!tx_[c].active, "plain store inside a transaction");
   MemOp r;
   r.latency = mem_.access(c, a, size, sim::AccessKind::Store, false, 0).latency;
   heap_.store(a, v, size);
+  publish_stored_value(c, a, v, pc);
   return r;
 }
 
@@ -287,6 +310,8 @@ HtmSystem::MemOp HtmSystem::nontx_store(CoreId c, Addr a, std::uint64_t v,
     return r;
   }
   heap_.store(a, v, size);
+  // Nontransactional stores take effect immediately — publish immediately.
+  publish_stored_value(c, a, v, 0);
   return r;
 }
 
@@ -300,6 +325,7 @@ HtmSystem::CasResult HtmSystem::nontx_cas(CoreId c, Addr a,
   if (r.observed == expect) {
     r.latency += mem_.access(c, a, 8, sim::AccessKind::Store, false, 0).latency;
     heap_.store(a, desired, 8);
+    publish_stored_value(c, a, desired, 0);
     r.success = true;
   }
   return r;

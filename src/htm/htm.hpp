@@ -58,6 +58,21 @@ class HtmSystem final : public sim::ConflictSink {
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
   obs::TraceSink* trace() { return trace_; }
 
+  /// Wire the privacy map (sim/privacy.hpp). The HTM owns every publication
+  /// point through which an address can leave a core's private domain:
+  /// plain/nontransactional stores to shared memory, commit write-buffer
+  /// drains, and the host result/argument channel below. Null (default)
+  /// disables tracking.
+  void set_privacy(sim::PrivacyMap* priv) { priv_ = priv; }
+
+  /// Host-channel publication: `v` is a committed atomic-block result or a
+  /// host-dispatched op argument, visible outside core c's private domain
+  /// (the host can hand it to any core). Escapes the block it addresses, if
+  /// any.
+  void publish_host_value(CoreId c, std::uint64_t v) {
+    if (priv_ != nullptr) priv_->publish_value(c, v, 0);
+  }
+
   // ---- transaction lifecycle ----
   void begin(CoreId c);
   bool active(CoreId c) const { return tx_[c].active; }
@@ -102,8 +117,10 @@ class HtmSystem final : public sim::ConflictSink {
 
   /// Plain cached access (core must NOT be in a transaction); used for
   /// setup code, non-transactional program phases, and irrevocable mode.
+  /// `pc` only tags the privacy-escape trace event (0 = unknown site).
   MemOp plain_load(CoreId c, Addr a, unsigned size);
-  MemOp plain_store(CoreId c, Addr a, std::uint64_t v, unsigned size);
+  MemOp plain_store(CoreId c, Addr a, std::uint64_t v, unsigned size,
+                    std::uint32_t pc = 0);
 
   /// Nontransactional access from inside (or outside) a transaction (§4).
   MemOp nontx_load(CoreId c, Addr a, unsigned size);
@@ -154,13 +171,23 @@ class HtmSystem final : public sim::ConflictSink {
   void mark_capacity_abort(CoreId c, Addr a);
   std::uint64_t read_through_wb(const TxState& tx, Addr a, unsigned size) const;
   void write_to_wb(TxState& tx, Addr a, std::uint64_t v, unsigned size);
-  void drain_wb(TxState& tx);
+  void drain_wb(CoreId c, TxState& tx);
+  /// Publication check for a store of `v` to `dest` by core c: a store
+  /// whose destination stays inside c's own private domain publishes
+  /// nothing (only c can read it back); anything else makes `v` visible to
+  /// other cores.
+  void publish_stored_value(CoreId c, Addr dest, std::uint64_t v,
+                            std::uint32_t pc) {
+    if (priv_ == nullptr || priv_->private_to(c, dest)) return;
+    priv_->publish_value(c, v, pc);
+  }
 
   sim::Heap& heap_;
   sim::MemorySystem& mem_;
   sim::MachineStats& stats_;
   std::function<Cycle()> clock_;
   obs::TraceSink* trace_ = nullptr;
+  sim::PrivacyMap* priv_ = nullptr;
   std::vector<TxState> tx_;
   std::vector<Addr> publish_scratch_;  // reused across lazy commits
 };

@@ -98,6 +98,62 @@ class Interp {
     const Frame& fr = frames_[depth_ - 1];
     return !fr.code[fr.ip].is_boundary();
   }
+
+  /// One-instruction lookahead for the private-line window classification
+  /// (runtime/tx_executor.cpp step_commutes): what would the next step()
+  /// touch? Pure reports a non-boundary instruction (same predicate as
+  /// next_is_pure); Load/Store additionally resolve the effective address
+  /// and size from the current register file — valid because the peek runs
+  /// exactly when the step is about to (register state is final). Calls
+  /// and non-final Rets stay inside this core's frame stack; everything
+  /// else (alloc/free, ALPoints, nontransactional ops, the final Ret) is
+  /// reported as Other and always classifies as synchronizing.
+  struct NextAccess {
+    enum class Kind : std::uint8_t {
+      kNone,      // not running
+      kPure,      // non-boundary instruction
+      kLoad,
+      kStore,
+      kCall,
+      kRetInner,  // Ret that pops to a caller frame (depth > 1)
+      kOther,
+    };
+    Kind kind = Kind::kNone;
+    sim::Addr addr = 0;
+    unsigned size = 0;
+  };
+  NextAccess next_access() const {
+    NextAccess na;
+    if (depth_ == 0) return na;
+    const Frame& fr = frames_[depth_ - 1];
+    const ir::DecodedInstr& ins = fr.code[fr.ip];
+    if (!ins.is_boundary()) {
+      na.kind = NextAccess::Kind::kPure;
+      return na;
+    }
+    switch (ins.op) {
+      case ir::DecOp::Load:
+      case ir::DecOp::Store: {
+        const ir::DecodedExt& ext = fr.ext[ins.t1];
+        na.kind = ins.op == ir::DecOp::Load ? NextAccess::Kind::kLoad
+                                            : NextAccess::Kind::kStore;
+        na.addr = fr.regs[ins.a];
+        na.size = ext.acc_size;
+        break;
+      }
+      case ir::DecOp::Call:
+        na.kind = NextAccess::Kind::kCall;
+        break;
+      case ir::DecOp::Ret:
+        na.kind = depth_ > 1 ? NextAccess::Kind::kRetInner
+                             : NextAccess::Kind::kOther;
+        break;
+      default:
+        na.kind = NextAccess::Kind::kOther;
+        break;
+    }
+    return na;
+  }
   std::uint64_t result() const { return result_; }
   std::uint64_t instrs_executed() const { return instr_count_; }
   std::uint64_t alps_executed() const { return alp_count_; }

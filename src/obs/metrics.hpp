@@ -15,6 +15,7 @@
 
 namespace st::sim {
 struct ParStats;
+struct PrivacyStats;
 }
 
 namespace st::obs {
@@ -52,7 +53,13 @@ void write_core_stats_json(std::FILE* f, const sim::CoreStats& cs);
 /// split, the window-cycles histogram (same shape as the "hists" entries
 /// above), and per-worker barrier-wait nanoseconds. Host-side only — these
 /// values vary across STAGTM_THREADS settings and are excluded from
-/// differential comparisons, exactly like wall_ms.
-void write_host_par_json(std::FILE* f, const sim::ParStats& par);
+/// differential comparisons, exactly like wall_ms. When `priv` is non-null
+/// a "privacy" sub-object is appended: whether the classification was on,
+/// escaped-line / publish-check totals, and per-worker-arena escape counts
+/// (those four are knob- and thread-independent; only placement here keeps
+/// them out of the differential counter set alongside the window split
+/// they explain).
+void write_host_par_json(std::FILE* f, const sim::ParStats& par,
+                         const sim::PrivacyStats* priv = nullptr);
 
 }  // namespace st::obs

@@ -18,6 +18,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kIrrevocable: return "irrevocable";
     case EventKind::kBackoff: return "backoff";
     case EventKind::kCoreDone: return "core_done";
+    case EventKind::kLineEscape: return "line_escape";
     case EventKind::kCount_: break;
   }
   return "?";
@@ -45,6 +46,7 @@ constexpr Group kGroups[] = {
     {"irrevocable", bit(EventKind::kIrrevocable)},
     {"backoff", bit(EventKind::kBackoff)},
     {"sched", bit(EventKind::kCoreDone)},
+    {"priv", bit(EventKind::kLineEscape)},
     {"all", kAllEvents},
 };
 }  // namespace
@@ -87,7 +89,7 @@ TraceConfig TraceConfig::from_env() {
     if (!parse_event_mask(events, &cfg.mask, &bad))
       env_fail("STAGTM_TRACE_EVENTS", events.c_str(),
                "a comma-separated list of "
-               "tx|alp|lock|policy|irrevocable|backoff|sched|all");
+               "tx|alp|lock|policy|irrevocable|backoff|sched|priv|all");
   }
   return cfg;
 }

@@ -44,6 +44,9 @@ enum class EventKind : std::uint8_t {
   kIrrevocable,     // a32 = ab id (global-lock serial execution begins)
   kBackoff,         // a32 = attempt number, a64 = delay in cycles
   kCoreDone,        // the core's task finished (timeline end marker)
+  kLineEscape,      // a line left its arena's private domain: arg8 = owner
+                    // core, a32 = publishing PC (0 = commit/host channel),
+                    // a64 = line address; emitted on the publisher's ring
   kCount_,
 };
 

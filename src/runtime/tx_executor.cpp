@@ -118,8 +118,7 @@ class TxExecutor::PlainEnv final : public ExecEnv {
   }
   Mem store(sim::Addr a, std::uint64_t v, unsigned size,
             std::uint32_t pc) override {
-    (void)pc;
-    const auto r = e_.sys_.htm().plain_store(e_.core_, a, v, size);
+    const auto r = e_.sys_.htm().plain_store(e_.core_, a, v, size, pc);
     return Mem{r.value, r.latency, r.ok};
   }
   Mem nt_load(sim::Addr a, unsigned size) override {
@@ -147,7 +146,8 @@ class TxExecutor::PlainEnv final : public ExecEnv {
 // ---------------------------------------------------------------------------
 
 TxExecutor::TxExecutor(TxSystem& sys, sim::CoreId core)
-    : sys_(sys), core_(core) {
+    : sys_(sys), core_(core),
+      private_windows_(sys.htm().mem().private_classification()) {
   spec_env_ = std::make_unique<SpecEnv>(*this);
   plain_env_ = std::make_unique<PlainEnv>(*this);
   spec_interp_ = std::make_unique<Interp>(*spec_env_, &sys_.config().jit);
@@ -173,19 +173,47 @@ std::uint64_t TxExecutor::take_result() {
   return result_;
 }
 
+bool TxExecutor::step_commutes() const {
+  const interp::Interp& in =
+      state_ == State::kRunning ? *spec_interp_ : *plain_interp_;
+  const auto na = in.next_access();
+  using K = interp::Interp::NextAccess::Kind;
+  switch (na.kind) {
+    case K::kPure:
+    case K::kCall:       // pushes a frame: interpreter-local
+    case K::kRetInner:   // pops to the caller: interpreter-local
+      return true;
+    case K::kLoad:
+    case K::kStore:
+      // A hit on a line still private to this core touches only the core's
+      // own L1, write buffer, and (for irrevocable stores) heap bytes no
+      // other core can name. Privacy is stable across a whole lookahead
+      // window (escapes happen only at drain steps), so this answer cannot
+      // rot between classification and execution. Line-crossing accesses
+      // would need two private hits; the simulator forbids them anyway, so
+      // classify them synchronizing and let the access path diagnose.
+      return sim::line_addr(na.addr) ==
+                 sim::line_addr(na.addr + (na.size ? na.size - 1 : 0)) &&
+             sys_.htm().mem().private_hit(core_, na.addr);
+    default:
+      // Alloc/free, nontransactional ops, ALPoints, the final Ret.
+      return false;
+  }
+}
+
 bool TxExecutor::next_step_local() const {
   switch (state_) {
     case State::kRunning:
-      // A pure next instruction keeps the entire step inside this core's
-      // interpreter frame. A pending abort stamp does NOT matter here:
-      // run_step observes stamps only at boundary instructions, so a
-      // doomed attempt's remaining pure instructions retire identically
-      // whether the stamp is visible yet or not.
-      return spec_interp_->next_is_pure();
+      // A pending abort stamp does NOT matter here: run_step observes
+      // stamps only at non-commuting steps, so a doomed attempt's
+      // remaining commuting steps retire identically whether the stamp is
+      // visible yet or not.
+      return private_windows_ ? step_commutes() : spec_interp_->next_is_pure();
     case State::kIrrevRunning:
       // Irrevocable execution holds the global lock and cannot abort; its
-      // pure runs are as private as speculative ones.
-      return plain_interp_->next_is_pure();
+      // commuting steps are as private as speculative ones.
+      return private_windows_ ? step_commutes()
+                              : plain_interp_->next_is_pure();
     default:
       return false;
   }
@@ -255,15 +283,16 @@ sim::Cycle TxExecutor::begin_attempt() {
 
 sim::Cycle TxExecutor::run_step(sim::Cycle budget) {
   // An asynchronous (cross-core) abort stamp is observed at the next
-  // boundary instruction, never between pure-register instructions: the
-  // doomed attempt keeps retiring (and the abort discards the work), just
-  // as a real core keeps retiring until the abort interrupt lands. With
-  // observation points restricted to synchronizing steps, the abort's
-  // timing is a function of the victim's own instruction stream — not of
-  // when between two boundaries the stamp landed — which is the invariant
-  // that lets the parallel engine (sim/machine.hpp, DESIGN.md §13) run
-  // pure steps inside lookahead windows without consulting shared state.
-  if (!spec_interp_->next_is_pure() && sys_.htm().pending_abort(core_))
+  // NON-COMMUTING step, never between core-local ones: the doomed attempt
+  // keeps retiring (and the abort discards the work), just as a real core
+  // keeps retiring until the abort interrupt lands. With observation
+  // points restricted to synchronizing steps, the abort's timing is a
+  // function of the victim's own instruction stream — not of when between
+  // two such steps the stamp landed — which is the invariant that lets the
+  // parallel engine (sim/machine.hpp, DESIGN.md §13–14) run commuting
+  // steps inside lookahead windows without consulting shared state. The
+  // predicate is deliberately knob-independent (see step_commutes).
+  if (sys_.htm().pending_abort(core_) && !step_commutes())
     return handle_abort(AbortCause::None);
   last_step_lock_wait_ = false;
   const auto s = spec_interp_->step(budget);
@@ -314,12 +343,16 @@ sim::Cycle TxExecutor::commit_sequence() {
   st.cycles_useful_tx += attempt_cycles_;
   st.tx_instrs += spec_interp_->instrs_executed();
   st.interp_instrs += spec_interp_->instrs_executed();
+  instrs_done_ += spec_interp_->instrs_executed();
   st.h_tx_cycles.add(attempt_cycles_);
   st.h_tx_retries.add(attempts_);
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit, 0, 0,
                     ab_id_, attempts_});
   result_ = spec_interp_->result();
+  // The result crosses into the host (workload next_op logic), which can
+  // hand it to any other core: publication point.
+  sys_.htm().publish_host_value(core_, result_);
   if (auto* log = sys_.commit_log())
     log->push_back({sys_.machine().now(), core_,
                     static_cast<std::uint16_t>(ab_id_),
@@ -389,6 +422,7 @@ sim::Cycle TxExecutor::handle_abort(AbortCause self_cause) {
   // Host-throughput accounting: the doomed attempt's instructions were
   // interpreted even though they never commit.
   st.interp_instrs += spec_interp_->instrs_executed();
+  instrs_done_ += spec_interp_->instrs_executed();
 
   if (info.cause == AbortCause::Conflict) resolve_and_train(info);
 
@@ -433,6 +467,7 @@ sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
   st.cycles_irrevocable += attempt_cycles_;
   st.tx_instrs += plain_interp_->instrs_executed();
   st.interp_instrs += plain_interp_->instrs_executed();
+  instrs_done_ += plain_interp_->instrs_executed();
   ++st.commits;  // a serialized execution still commits its atomic block
   st.h_tx_cycles.add(attempt_cycles_);
   // The serial execution counts as the final "attempt" after attempts_
@@ -442,6 +477,7 @@ sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit,
                     /*irrevocable=*/1, 0, ab_id_, attempts_ + 1});
   result_ = plain_interp_->result();
+  sys_.htm().publish_host_value(core_, result_);
   if (auto* log = sys_.commit_log())
     log->push_back({sys_.machine().now(), core_,
                     static_cast<std::uint16_t>(ab_id_),

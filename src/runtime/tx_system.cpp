@@ -32,6 +32,7 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
       stats_(cfg.cores),
       machine_(cfg.cores),
       heap_(cfg.cores + 1, cfg.arena_bytes),
+      priv_(heap_),
       policy_(cfg.policy) {
   ST_CHECK_MSG(prog.module != nullptr && prog.module->finalized(),
                "TxSystem needs a compiled, finalized program");
@@ -47,6 +48,17 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
   htm_ = std::make_unique<htm::HtmSystem>(heap_, *mem_, stats_);
   htm_->set_clock([this] { return machine_.now(); });
   htm_->set_trace(trace_.get());
+  // Privacy wiring, before any allocation (the glock below must be seeded
+  // through on_alloc like everything else): the heap reports block extents,
+  // the HTM reports publications, and the memory system consumes both —
+  // escape materialization, fast paths, and window classification.
+  heap_.set_privacy(&priv_);
+  priv_.set_sink(mem_.get());
+  mem_->set_privacy(&priv_);
+  mem_->set_trace(trace_.get());
+  mem_->set_clock([this] { return machine_.now(); });
+  mem_->set_window_probe([this] { return machine_.in_parallel_phase(); });
+  htm_->set_privacy(&priv_);
   locks_ = std::make_unique<stagger::AdvisoryLockTable>(
       *htm_, cfg_.num_advisory_locks);
   locks_->set_trace(trace_.get());

@@ -100,6 +100,7 @@ class TxSystem {
 
   sim::Machine& machine() { return machine_; }
   sim::Heap& heap() { return heap_; }
+  sim::PrivacyMap& privacy() { return priv_; }
   sim::MemorySystem& mem() { return *mem_; }
   htm::HtmSystem& htm() { return *htm_; }
   sim::MachineStats& stats() { return stats_; }
@@ -132,6 +133,7 @@ class TxSystem {
   sim::MachineStats stats_;
   sim::Machine machine_;
   sim::Heap heap_;
+  sim::PrivacyMap priv_;  // after heap_: its geometry comes from there
   std::unique_ptr<sim::MemorySystem> mem_;
   std::unique_ptr<htm::HtmSystem> htm_;
   std::unique_ptr<stagger::AdvisoryLockTable> locks_;

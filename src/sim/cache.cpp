@@ -72,8 +72,11 @@ void L1Cache::check_log_invariants() const {
     ST_CHECK_MSG(spec_log_[p] < lines_.size(),
                  "speculative-line log entry out of range");
     const L1Line& l = lines_[spec_log_[p]];
-    ST_CHECK_MSG(l.state != Coh::I && l.speculative(),
-                 "logged slot is not speculative");
+    // A logged slot may transiently be invalid-but-marked: a cross-core
+    // abort stamp invalidates the victim's written shared lines without
+    // touching its marks or log (the victim drains both at its next
+    // synchronizing step).
+    ST_CHECK_MSG(l.speculative(), "logged slot is not speculative");
     ST_CHECK_MSG(l.log_pos == static_cast<std::int32_t>(p),
                  "speculative-line log position mismatch (duplicate entry?)");
   }

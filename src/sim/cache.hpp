@@ -129,6 +129,15 @@ class L1Cache {
     for (const std::uint32_t idx : spec_log_) fn(lines_[idx]);
   }
 
+  /// Invokes `fn(L1Line&)` on every speculative line in slot order without
+  /// clearing speculative state or the log. `fn` may change coherence state
+  /// but must not touch the speculative bits or the log.
+  template <typename Fn>
+  void for_each_speculative_mut(Fn&& fn) {
+    sort_log();
+    for (const std::uint32_t idx : spec_log_) fn(lines_[idx]);
+  }
+
   /// Number of currently speculative lines — O(1) via the log.
   std::size_t speculative_line_count() const { return spec_log_.size(); }
 
@@ -152,6 +161,15 @@ class L1Cache {
   void for_each_valid(Fn&& fn) const {
     for (const auto& l : lines_)
       if (l.state != Coh::I) fn(l);
+  }
+
+  /// Invoke `fn(const L1Line&)` on every slot, valid or not. Differential
+  /// sweeps need this: speculative marks outlive coherence validity on a
+  /// victim stamped by a cross-core abort (they drain at its own next
+  /// synchronizing step).
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    for (const auto& l : lines_) fn(l);
   }
 
   std::uint32_t sets() const { return sets_; }

@@ -21,7 +21,10 @@
 
 namespace st::sim {
 
-template <typename V>
+// `kKeyShift` strips the low always-zero bits of the key before hashing:
+// kLineShift (default) for line-address keys, 3 for 8-aligned block
+// addresses (Heap::block_sizes_).
+template <typename V, unsigned kKeyShift = kLineShift>
 class LineMap {
  public:
   explicit LineMap(std::size_t initial_slots = 1024) {
@@ -92,8 +95,8 @@ class LineMap {
   std::size_t mask() const { return slots_.size() - 1; }
   std::size_t next(std::size_t i) const { return (i + 1) & mask(); }
   std::size_t ideal(Addr key) const {
-    // Line addresses share their low 6 bits; hash the dense line index.
-    return static_cast<std::size_t>(mix64(line_index(key))) & mask();
+    // Aligned keys share their low bits; hash the dense index.
+    return static_cast<std::size_t>(mix64(key >> kKeyShift)) & mask();
   }
 
   void shift_back(std::size_t hole) {

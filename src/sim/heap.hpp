@@ -6,27 +6,38 @@
 //
 // Each core allocates from its own arena, mirroring the per-thread behaviour
 // of the Lockless allocator used in the paper (so unrelated threads'
-// allocations do not share cache lines by accident).
+// allocations do not share cache lines by accident).  That same arena
+// discipline is what makes per-line privacy tracking (sim/privacy.hpp)
+// possible: a worker arena's lines belong to exactly one core until their
+// addresses are published.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/dir_map.hpp"
 #include "sim/types.hpp"
 
 namespace st::sim {
 
+class PrivacyMap;
+
 class Heap {
  public:
+  /// Lowest simulated address; everything below is invalid (so small
+  /// integers never look like heap pointers).
+  static constexpr Addr kBase = 0x10000;
+
   /// `arenas` is the number of independent allocation arenas (normally the
   /// core count plus one shared setup arena); `arena_bytes` the capacity of
   /// each.
   Heap(unsigned arenas, std::size_t arena_bytes);
 
   /// Allocate `size` bytes in `arena`, aligned to `align` (power of two,
-  /// >= 8). Returns the simulated address. Never returns 0.
+  /// >= 8). Returns the simulated address. Never returns 0. Exhausting an
+  /// arena raises a simulated-OOM failure naming the arena.
   Addr alloc(unsigned arena, std::size_t size, std::size_t align = 8);
 
   /// Allocate on a fresh cache line (used for lock words and other data
@@ -56,18 +67,52 @@ class Heap {
   /// The arena index reserved for single-threaded setup code.
   unsigned setup_arena() const { return arena_count_ - 1; }
 
+  // --- Geometry accessors (privacy tracking derives its line map here) ---
+  unsigned arena_count() const { return arena_count_; }
+  std::size_t arena_bytes() const { return arena_bytes_; }
+  /// Distance between consecutive arena bases (arena_bytes + the
+  /// anti-aliasing stagger).
+  std::size_t arena_stride() const { return arena_bytes_ + kStagger; }
+  std::size_t total_bytes() const { return mem_size_; }
+
+  /// If a live block *starts* at `a`, writes its (class-rounded) byte size
+  /// to `*bytes` and returns true. Used by the privacy map's transitive
+  /// escape scan to read only deterministic (allocated) memory.
+  bool live_block_at(Addr a, std::size_t* bytes) const {
+    const std::uint32_t* p = block_sizes_.find(a);
+    if (p == nullptr) return false;
+    *bytes = std::size_t{1} << (*p & 0xFF);
+    return true;
+  }
+
+  /// Wire the privacy map; every subsequent alloc reports its block extent
+  /// via PrivacyMap::on_alloc. Null (the default) is the standalone-heap
+  /// configuration with no tracking.
+  void set_privacy(PrivacyMap* priv) { priv_ = priv; }
+
  private:
+  // Arena starts are staggered by 67 lines each (67 is coprime to any
+  // power-of-two set count): with naive 2^k-aligned bases, objects at equal
+  // offsets in different arenas alias into the same L1 set, and a structure
+  // whose nodes were allocated by many threads overflows one set and aborts
+  // on capacity instead of conflicts.
+  static constexpr Addr kStagger = 67 * kLineBytes;
+  // Size classes are powers of two in [8, 2^(kMaxClassBits-1)]; free lists
+  // are bucketed by log2(class).
+  static constexpr unsigned kMaxClassBits = 48;
+
   struct Arena {
     Addr base = 0;
     Addr brk = 0;
     Addr limit = 0;
-    // Free lists bucketed by rounded size (power-of-two classes).
-    std::unordered_map<std::size_t, std::vector<Addr>> free_lists;
+    std::array<std::vector<Addr>, kMaxClassBits> free_lists;
   };
 
   std::byte* backing(Addr a);
   const std::byte* backing(Addr a) const;
   static std::size_t size_class(std::size_t size);
+  [[noreturn]] void oom_fail(unsigned arena, std::size_t size,
+                             std::size_t cls) const;
 
   unsigned arena_count_;
   std::size_t arena_bytes_;
@@ -76,11 +121,14 @@ class Heap {
   // backing store never needs the (expensive) whole-arena clear.
   std::unique_ptr<std::byte[]> mem_;
   std::size_t mem_size_ = 0;
-  std::unordered_map<Addr, std::uint32_t> block_sizes_;  // addr -> arena<<24|class
+  // addr -> arena<<24 | log2(class); open-addressed (alloc/dealloc is on
+  // every workload's hot path). Block addresses are 8-aligned, hence the
+  // shift-3 key. The packed value is never 0 (log2(class) >= 3), so a
+  // default-constructed slot from get_or_insert is distinguishable.
+  LineMap<std::uint32_t, 3> block_sizes_;
   std::size_t bytes_allocated_ = 0;
   std::uint64_t invalid_frees_ = 0;
-
-  static constexpr Addr kBase = 0x10000;  // keep low addresses invalid
+  PrivacyMap* priv_ = nullptr;
 };
 
 }  // namespace st::sim

@@ -214,23 +214,27 @@ Cycle Machine::run_parallel(Cycle max_cycles) {
   // fuse the whole run (rather than heap-budget-sized pieces of it) only
   // changes host-side chopping, never a simulated result.
   auto advance_local = [&](CoreId id, std::uint64_t& steps,
+                           std::uint64_t& instrs,
                            std::vector<CoreId>& newly_sync) {
     Core& c = cores_[id];
+    const std::uint64_t i0 = c.task->instrs_retired();
     while (c.clock < max_cycles) {
       if (!c.task->next_step_local(*this, id)) {
         status[id] = St::kSync;
         newly_sync.push_back(id);
-        return;
+        break;
       }
       tls_fuse_budget() = fusion_ ? max_cycles - c.clock : 1;
       const Cycle used = c.task->step(*this, id);
       c.clock += used < 1 ? 1 : used;
       ++steps;
     }
+    instrs += c.task->instrs_retired() - i0;
   };
 
   struct WorkerSlot {
     std::uint64_t steps = 0;
+    std::uint64_t instrs = 0;
     std::uint64_t wait_ns = 0;
     std::vector<CoreId> newly_sync;
   };
@@ -252,7 +256,7 @@ Cycle Machine::run_parallel(Cycle max_cycles) {
       if (stop) return;
       for (CoreId id = w; id < n; id += workers)
         if (status[id] == St::kLocal)
-          advance_local(id, slot.steps, slot.newly_sync);
+          advance_local(id, slot.steps, slot.instrs, slot.newly_sync);
       const auto t1 = std::chrono::steady_clock::now();
       window_end.arrive_and_wait();
       slot.wait_ns += ns_since(t1);
@@ -301,9 +305,11 @@ Cycle Machine::run_parallel(Cycle max_cycles) {
       // the budget (boundary instructions run alone at any budget), so 1
       // is both safe and exact.
       fuse_budget_ = 1;
+      const std::uint64_t i0 = c.task->instrs_retired();
       const Cycle used = c.task->step(*this, id);
       c.clock += used < 1 ? 1 : used;
       ++par_.drain_steps;
+      par_.drain_instrs += c.task->instrs_retired() - i0;
       if (c.task->done()) {
         status[id] = St::kDone;
         if (trace_ != nullptr)
@@ -334,9 +340,12 @@ Cycle Machine::run_parallel(Cycle max_cycles) {
       // host-side choice) differs.
       ++par_.inline_windows;
       std::uint64_t steps = 0;
+      std::uint64_t instrs = 0;
       for (CoreId i = 0; i < n; ++i)
-        if (status[i] == St::kLocal) advance_local(i, steps, inline_newly);
+        if (status[i] == St::kLocal)
+          advance_local(i, steps, instrs, inline_newly);
       par_.window_steps += steps;
+      par_.window_instrs += instrs;
       in_parallel_phase_ = false;
       for (CoreId id : inline_newly) sync.emplace(cores_[id].clock, id);
       inline_newly.clear();
@@ -357,6 +366,7 @@ Cycle Machine::run_parallel(Cycle max_cycles) {
   for (std::thread& t : pool) t.join();
   for (unsigned w = 0; w < workers; ++w) {
     par_.window_steps += slots[w].steps;
+    par_.window_instrs += slots[w].instrs;
     par_.barrier_wait_ns[w] += slots[w].wait_ns;
   }
 

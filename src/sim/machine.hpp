@@ -76,6 +76,15 @@ class CoreTask {
     (void)core;
     return false;
   }
+
+  /// Monotone count of instructions this task has retired so far. The
+  /// parallel engine differences it around step() calls to weight the
+  /// window/drain split by retired work instead of step-call count: a
+  /// drain step retires at most one instruction (fuse budget 1) while a
+  /// window step retires a whole fused run, so step-call counts alone
+  /// overstate the serial section. Host-side observability only; the
+  /// default (always 0) simply yields zero work-weighted counters.
+  virtual std::uint64_t instrs_retired() const { return 0; }
 };
 
 /// Host-side statistics of one parallel run (run_parallel). Purely
@@ -92,6 +101,16 @@ struct ParStats {
   std::uint64_t window_steps = 0;
   /// Synchronizing steps executed serially by the drain.
   std::uint64_t drain_steps = 0;
+  /// Instructions retired inside windows (CoreTask::instrs_retired deltas).
+  /// The instruction-weighted window fraction window_instrs /
+  /// (window_instrs + drain_instrs) is the honest Amdahl proxy: each drain
+  /// step retires at most one instruction while a window step retires a
+  /// whole fused run, so the step-call split undercounts window work.
+  std::uint64_t window_instrs = 0;
+  /// Instructions retired by serial drain steps. Drain steps that retire
+  /// zero instructions (begin/commit boundaries, lock spins, backoff,
+  /// think-time dispatch) count toward drain_steps but not here.
+  std::uint64_t drain_instrs = 0;
   /// Window-local cores participating per window (the fan-out available to
   /// the worker pool).
   Log2Hist window_cores;

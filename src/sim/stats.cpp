@@ -34,6 +34,9 @@ CoreStats MachineStats::total() const {
     t.l1_misses += c.l1_misses;
     t.dir_probes += c.dir_probes;
     t.spec_log_hwm = std::max(t.spec_log_hwm, c.spec_log_hwm);  // a peak, not a volume
+    t.priv_hits += c.priv_hits;
+    t.priv_misses += c.priv_misses;
+    t.priv_escapes += c.priv_escapes;
     t.h_tx_cycles.merge(c.h_tx_cycles);
     t.h_tx_retries.merge(c.h_tx_retries);
     t.h_lock_hold.merge(c.h_lock_hold);

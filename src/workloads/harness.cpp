@@ -32,6 +32,14 @@ class WorkloadThread final : public sim::CoreTask {
       return 1;
     }
     Workload::Op op = wl_.next_op(sys_, thread_, done_ops_);
+    // Host-dispatch publication channel: next_op runs in host code, so an
+    // argument can carry a pointer another core minted into this core's
+    // transaction without any simulated store ever moving it. A pointer
+    // still private to ANOTHER core escapes here; a pointer private to
+    // this core stays private (it never left the owner's domain).
+    sim::PrivacyMap& priv = sys_.privacy();
+    for (std::uint64_t a : op.args)
+      if (priv.foreign_private(thread_, a)) priv.publish_value(thread_, a, 0);
     sys_.stats().core(thread_).cycles_nontx += op.think;
     exec_.start(op.ab_id, std::move(op.args));
     active_ = true;
@@ -46,6 +54,12 @@ class WorkloadThread final : public sim::CoreTask {
   bool next_step_local(const sim::Machine&, sim::CoreId) const override {
     return !finished_ && active_ && !exec_.finished() &&
            exec_.next_step_local();
+  }
+
+  /// Think-time dispatch retires no interpreter instructions, so the
+  /// executor's monotone counter is the whole story for this task.
+  std::uint64_t instrs_retired() const override {
+    return exec_.instrs_retired();
   }
 
  private:
@@ -139,6 +153,7 @@ runtime::RuntimeConfig make_runtime_config(const RunOptions& opt) {
   rt.macrostep = opt.macrostep;
   rt.host_threads = opt.host_threads;
   rt.jit = opt.jit;
+  rt.mem.private_lines = opt.private_lines;
   rt.record_commits = opt.checked;
   rt.unsafe_skip_subscription = opt.unsafe_skip_subscription;
   rt.trace = obs::TraceConfig::from_env();
@@ -258,6 +273,7 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
                   .count();
   r.host_threads = sys.machine().host_threads();
   r.par = sys.machine().par_stats();
+  r.privacy = sys.privacy().snapshot(sys.mem().private_classification());
   return r;
 }
 

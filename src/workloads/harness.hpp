@@ -38,6 +38,12 @@ struct RunOptions {
   /// simulated results are identical across tiers (CI-enforced). Defaults
   /// to the STAGTM_JIT / STAGTM_JIT_THRESHOLD / STAGTM_JIT_CAP env knobs.
   interp::JitConfig jit = interp::JitConfig::from_env();
+  /// Private-line window classification (sim/privacy.hpp, DESIGN.md §14).
+  /// Host-side like macrostep: whether private-line hits classify as
+  /// window-local (and take the directory-skipping fast paths) never
+  /// changes a simulated result (CI-enforced byte-identical off vs on).
+  /// Defaults to the STAGTM_PRIVATE env knob (unset = on).
+  bool private_lines = sim::default_private_lines();
   stagger::PolicyConfig policy;  // addr_only is set automatically
   /// Override the instrumentation mode (default: what the scheme implies).
   /// kAll + kStaggered reproduces Table 3's naive instrument-everything
@@ -91,6 +97,10 @@ struct RunResult {
   /// host-side: excluded from differential comparisons.
   unsigned host_threads = 1;
   sim::ParStats par;
+  /// Privacy-map snapshot at end of run (escaped lines, publish checks,
+  /// per-arena escapes). The map itself is knob- and thread-independent;
+  /// only `enabled` records whether classification was on.
+  sim::PrivacyStats privacy;
   /// Schedule-perturbation provenance ("off" when no perturbation ran).
   std::string sched_mode = "off";
   std::uint64_t sched_seed = 0;

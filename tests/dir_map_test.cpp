@@ -60,6 +60,25 @@ TEST(LineMap, ForEachVisitsEveryEntryOnce) {
   EXPECT_EQ(vals, want_vals);
 }
 
+TEST(LineMap, CustomKeyShiftKeepsDenseKeysDistinct) {
+  // The heap's block-size table keys by 8-aligned block address (shift 3
+  // instead of the directory's line shift): every 8-aligned key in a line
+  // must coexist, and lookups with the default-shift granularity must not
+  // alias them.
+  LineMap<std::uint32_t, 3> m;
+  for (Addr a = 0x1000; a < 0x1000 + 512; a += 8)
+    m.get_or_insert(a) = static_cast<std::uint32_t>(a);
+  EXPECT_EQ(m.size(), 64u);
+  for (Addr a = 0x1000; a < 0x1000 + 512; a += 8) {
+    ASSERT_NE(m.find(a), nullptr);
+    EXPECT_EQ(*m.find(a), a);
+  }
+  m.erase(0x1008);
+  EXPECT_EQ(m.find(0x1008), nullptr);
+  ASSERT_NE(m.find(0x1000), nullptr);  // neighbors survive the erase
+  ASSERT_NE(m.find(0x1010), nullptr);
+}
+
 // Differential fuzz against std::unordered_map, which the directory used to
 // be built on: random insert/overwrite/erase/lookup traffic over a small key
 // universe (lots of collisions and backward-shift deletions), checking full

@@ -106,6 +106,66 @@ TEST(Heap, SetupArenaIsLast) {
   EXPECT_EQ(h.setup_arena(), 4u);
 }
 
+TEST(Heap, ForeignArenaDeallocReturnsBlockToItsOwnArena) {
+  // Whichever core frees a block, it must recycle in its *birth* arena:
+  // line->arena ownership is a birth property (privacy tracking and the
+  // anti-aliasing stagger both depend on it).
+  Heap h(3, 1 << 20);
+  const Addr a = h.alloc(0, 32);
+  h.dealloc(a);  // in real runs this can be issued for a foreign block
+  const Addr b1 = h.alloc(1, 32);
+  EXPECT_NE(b1, a);  // arena 1 must not serve arena 0's freed block
+  const Addr a2 = h.alloc(0, 32);
+  EXPECT_EQ(a2, a);  // arena 0 reuses its own block
+}
+
+TEST(Heap, TryDeallocCountsDoubleAndWildFrees) {
+  Heap h(1, 1 << 20);
+  const Addr a = h.alloc(0, 32);
+  EXPECT_TRUE(h.try_dealloc(a));
+  EXPECT_EQ(h.invalid_frees(), 0u);
+  EXPECT_FALSE(h.try_dealloc(a));  // double free
+  EXPECT_EQ(h.invalid_frees(), 1u);
+  EXPECT_FALSE(h.try_dealloc(a + 8));  // interior/wild pointer
+  EXPECT_EQ(h.invalid_frees(), 2u);
+  // The block is still reusable after the bad frees.
+  EXPECT_EQ(h.alloc(0, 32), a);
+}
+
+TEST(Heap, FreeListsArePerClass) {
+  Heap h(1, 1 << 20);
+  const Addr small = h.alloc(0, 16);
+  const Addr big = h.alloc(0, 256);
+  h.dealloc(small);
+  h.dealloc(big);
+  EXPECT_EQ(h.alloc(0, 256), big);   // class 256 list
+  EXPECT_EQ(h.alloc(0, 16), small);  // class 16 list
+}
+
+TEST(HeapDeath, ExhaustionIsADistinctSimulatedOom) {
+  Heap h(2, 1 << 16);  // 64 KiB arenas
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 1000; ++i) h.alloc(0, 1024);
+      },
+      "simulated OOM: arena 0 exhausted allocating 1024 bytes");
+}
+
+TEST(HeapDeath, ExhaustionNamesTheRequestingArena) {
+  Heap h(3, 1 << 16);
+  // Arena 1 must be named even when arena 0 has room.
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 1000; ++i) h.alloc(1, 4096);
+      },
+      "simulated OOM: arena 1 exhausted");
+}
+
+TEST(HeapDeath, OversizedSingleRequestIsOomNotCorruption) {
+  Heap h(1, 1 << 16);
+  EXPECT_DEATH(h.alloc(0, (1u << 20)), "simulated OOM: arena 0");
+}
+
 TEST(HeapDeath, UnalignedAccessAborts) {
   Heap h(1, 1 << 20);
   const Addr a = h.alloc(0, 16);

@@ -151,6 +151,15 @@ TEST(ParallelMachine, WindowCountersPopulated) {
   EXPECT_EQ(r.par.barrier_wait_ns.size(), 4u);
   EXPECT_EQ(r.par.window_cores.samples, r.par.windows);
   EXPECT_LE(r.par.inline_windows, r.par.windows);
+  // Every interpreter instruction retires inside exactly one step call,
+  // and every step call is either a serial drain step or a window-local
+  // advance — so the work-weighted split must partition the run's total
+  // instruction count exactly. A leak here would mean the engine stepped
+  // a task outside both regimes (or double-counted a delta).
+  EXPECT_GT(r.par.window_instrs, 0u);
+  EXPECT_GT(r.par.drain_instrs, 0u);
+  EXPECT_EQ(r.par.window_instrs + r.par.drain_instrs,
+            r.totals.interp_instrs);
 }
 
 /// STAGTM_THREADS follows the strict env-knob contract: malformed or

@@ -115,7 +115,10 @@ void expect_log_matches_sweep(MemorySystem& mem, unsigned cores) {
   for (CoreId c = 0; c < cores; ++c) {
     unsigned spec = 0;
     std::vector<Addr> written_sweep;
-    mem.peek_l1_cache(c).for_each_valid([&](const L1Line& l) {
+    // All slots, not just valid ones: a victim stamped by a cross-core
+    // abort keeps its marks (on possibly-invalidated lines) until its own
+    // abort step, and the log must track exactly that.
+    mem.peek_l1_cache(c).for_each_slot([&](const L1Line& l) {
       if (l.speculative()) ++spec;
       if (l.tx_write) written_sweep.push_back(l.line);
     });

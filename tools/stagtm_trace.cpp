@@ -4,6 +4,9 @@
 //   * abort heatmap: top conflicting lines x anchor PC tags, by abort count
 //   * per-advisory-lock hold/contention table
 //   * locking-policy decision counts
+//   * privacy report: lines that escaped their owner's private domain
+//     (per-arena counts plus the earliest escapes with cycle and PC) —
+//     needs STAGTM_TRACE_EVENTS to include "priv" (or "all", the default)
 // Typical use: reproduce a contended run with tracing on, then point this
 // at the file to see *which* lines and PCs the conflicts concentrate on —
 // the same signal the locking policy itself trains on (paper §5.2).
@@ -35,6 +38,14 @@ struct LockRow {
   std::uint64_t hold_max = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t wait_total = 0;  // cycles spent in timed-out waits
+};
+
+struct Escape {
+  std::uint64_t cycle = 0;
+  std::uint64_t line = 0;
+  std::uint32_t pc = 0;         // 0 = commit drain / host channel
+  unsigned owner = 0;           // core whose arena lost the line
+  unsigned publisher = 0;       // core whose publication leaked it
 };
 
 int usage() {
@@ -96,6 +107,8 @@ int main(int argc, char** argv) {
   std::uint64_t decisions[8] = {};
   std::uint64_t total_commits = 0, total_aborts = 0, irrevocable = 0;
   std::uint64_t alp_fired = 0, backoffs = 0;
+  std::map<unsigned, std::uint64_t> arena_escapes;  // owner core -> lines
+  std::vector<Escape> escapes;
   for (unsigned c = 0; c < t.cores(); ++c) {
     std::uint64_t begins = 0, commits = 0, aborts = 0, lockev = 0;
     for (const TraceEvent& e : t.per_core[c].events) {
@@ -135,6 +148,10 @@ int main(int argc, char** argv) {
         case EventKind::kPolicyDecision: ++decisions[e.arg8 & 7]; break;
         case EventKind::kIrrevocable: break;  // paired kTxCommit(arg8=1)
         case EventKind::kBackoff: ++backoffs; break;
+        case EventKind::kLineEscape:
+          ++arena_escapes[e.arg8];
+          escapes.push_back({e.at, e.a64, e.a32, e.arg8, c});
+          break;
         default: break;
       }
     }
@@ -219,5 +236,44 @@ int main(int argc, char** argv) {
     any = true;
   }
   if (!any) std::printf("  (none — run a Staggered/AddrOnly scheme)\n");
+
+  // ---- privacy report -----------------------------------------------------
+  // Each line escapes at most once (privacy is irrevocable), so the event
+  // count IS the escaped-line count and "first escape" is "the escape".
+  std::printf("\nprivate-line escapes (%zu lines left their arena)\n",
+              escapes.size());
+  if (escapes.empty()) {
+    std::printf("  (none — all worker-arena lines stayed private; enable the"
+                " \"priv\" trace group if it was filtered out)\n");
+  } else {
+    std::printf("  per-arena: ");
+    bool firsta = true;
+    for (const auto& [owner, n] : arena_escapes) {
+      std::printf("%score%u:%" PRIu64, firsta ? "" : " ", owner, n);
+      firsta = false;
+    }
+    std::printf("\n");
+    std::sort(escapes.begin(), escapes.end(),
+              [](const Escape& a, const Escape& b) {
+                if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                return a.line < b.line;  // deterministic tie-break
+              });
+    std::printf("  %-18s %12s %-10s %-6s %s\n", "line", "cycle", "pc",
+                "owner", "published by");
+    const std::size_t n = std::min<std::size_t>(escapes.size(), top);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Escape& e = escapes[i];
+      char pcbuf[16];
+      if (e.pc == 0)
+        std::snprintf(pcbuf, sizeof pcbuf, "%s", "commit");
+      else
+        std::snprintf(pcbuf, sizeof pcbuf, "0x%x", e.pc);
+      std::printf("  0x%-16" PRIx64 " %12" PRIu64 " %-10s %-6u core%u\n",
+                  e.line, e.cycle, pcbuf, e.owner, e.publisher);
+    }
+    if (escapes.size() > n)
+      std::printf("  ... %zu more (raise --top to see them)\n",
+                  escapes.size() - n);
+  }
   return 0;
 }

@@ -20,6 +20,10 @@
 //   STAGTM_JSON    — if set, write machine-readable results to this path
 //   STAGTM_TRACE / STAGTM_TRACE_EVENTS / STAGTM_TRACE_CAP — event tracing
 //     (obs/trace.hpp); never changes stdout or simulated results
+//   STAGTM_PROF / STAGTM_PROF_CAP / STAGTM_PROF_FOOTPRINT — conflict
+//     provenance (obs/prov.hpp): per-abort blame records + advisory-lock
+//     counterfactual episodes, written per job for tools/stagtm-prof;
+//     never changes stdout or simulated results
 #pragma once
 
 #include <chrono>
@@ -30,6 +34,7 @@
 
 #include "common/env.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prov.hpp"
 #include "workloads/runner.hpp"
 
 namespace st::bench {
@@ -200,6 +205,15 @@ class Sweep {
       // from differential comparisons).
       std::fprintf(f, "\n     \"host_par\": ");
       obs::write_host_par_json(f, r->par, &r->privacy);
+      // Conflict-provenance summary + the per-job binary file path (only
+      // when STAGTM_PROF was set: keys absent in a plain run so the
+      // off-vs-on differential strips them like the host-side fields).
+      if (r->prov_enabled) {
+        std::fprintf(f, ",\n     \"prof_path\": \"");
+        json_escape(f, r->prof_path);
+        std::fprintf(f, "\",\n     \"prov\": ");
+        obs::write_prov_summary_json(f, r->prov);
+      }
       std::fprintf(f, ",\n     \"totals\": {");
       // Full metric set, registry-driven: every counter + log2 histogram,
       // aggregated and per core (obs/metrics.hpp).

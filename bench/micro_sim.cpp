@@ -104,7 +104,7 @@ struct NullEnv final : interp::ExecEnv {
   Mem nt_store(sim::Addr, std::uint64_t, unsigned) override {
     return {0, 2, true};
   }
-  Mem alloc(const ir::StructType*, sim::Addr& out) override {
+  Mem alloc(const ir::StructType*, sim::Addr& out, std::uint32_t) override {
     out = 0x10000;
     return {0, 1, true};
   }

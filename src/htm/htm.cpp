@@ -27,7 +27,7 @@ void HtmSystem::begin(CoreId c) {
 
 void HtmSystem::on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
                                   std::uint16_t pc_tag, std::uint32_t first_pc,
-                                  CoreId requester) {
+                                  CoreId requester, std::uint32_t requester_pc) {
   TxState& tx = tx_[victim];
   ST_CHECK_MSG(tx.active, "conflict abort of a core not in a transaction");
   // A victim may be hit several times before it notices; keep the first.
@@ -41,6 +41,11 @@ void HtmSystem::on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
     tx.info.aborter = requester;
     stats_.record_abort({victim, line, first_pc, pc_tag,
                          clock_ ? clock_() : 0});
+    // Aggressor context must be sampled now (the stamp), not at the
+    // victim's abort finalization: by then the aggressor may have committed
+    // and begun a different atomic block.
+    if (prov_ != nullptr)
+      prov_->on_conflict_stamp(victim, line, requester, requester_pc);
   }
   // Requester-wins: the victim's speculatively written *shared* lines must
   // vanish immediately so the requester observes committed data. This stamp
@@ -59,6 +64,17 @@ AbortInfo HtmSystem::abort(CoreId c, AbortCause self_cause) {
     tx.info = AbortInfo{};
     tx.info.cause = self_cause == AbortCause::None ? AbortCause::Explicit
                                                    : self_cause;
+  }
+  if (prov_ != nullptr) {
+    // Footprint and attribution must be read before the drain below wipes
+    // the speculative log (capacity aborts already captured at stamp time).
+    prov_capture_footprint(c);
+    prov_->on_abort_finalize(
+        c, static_cast<std::uint8_t>(tx.info.cause), tx.info.conflict_line,
+        tx.info.pc_tag_valid, tx.info.pc_tag, tx.info.true_first_pc,
+        heap_.alloc_site_for(tx.info.conflict_line),
+        priv_ != nullptr ? priv_->private_owner(tx.info.conflict_line) : -1,
+        clock_now());
   }
   // This runs at the victim's own synchronizing step, so the full drain is
   // window-safe here: it clears the marks and log the cross-core stamp left
@@ -111,6 +127,10 @@ bool HtmSystem::commit(CoreId c, Cycle* publish_latency) {
   // (O(1): the speculative-line log length). Recorded before the log is
   // drained below.
   stats_.core(c).h_spec_footprint.add(mem_.speculative_lines(c));
+  // Committed footprint, read before the drain: advisory-lock waiters that
+  // observed this core holding their lock classify their serialization
+  // against exactly the lines this attempt touched.
+  if (prov_ != nullptr) prov_capture_footprint(c);
   drain_wb(c, tx);
   mem_.clear_speculative(c, /*invalidate_written=*/false);
   for (Addr a : tx.deferred_frees) heap_.try_dealloc(a);
@@ -147,7 +167,19 @@ void HtmSystem::mark_capacity_abort(CoreId c, Addr a) {
   tx.info = AbortInfo{};
   tx.info.cause = AbortCause::Capacity;
   tx.info.conflict_line = sim::line_addr(a);
+  if (prov_ != nullptr) {
+    // Unlike conflict stamps, capacity clears speculative state right here,
+    // so the footprint must be captured now (abort() keeps this first one).
+    prov_capture_footprint(c);
+    prov_->on_capacity_stamp(c, sim::line_addr(a));
+  }
   mem_.clear_speculative(c, /*invalidate_written=*/true);
+}
+
+void HtmSystem::prov_capture_footprint(CoreId c) {
+  if (prov_->footprint_captured(c)) return;
+  mem_.speculative_line_addrs(c, prov_scratch_);
+  prov_->capture_footprint(c, prov_scratch_);
 }
 
 std::uint64_t HtmSystem::read_through_wb(const TxState& tx, Addr a,
@@ -331,8 +363,8 @@ HtmSystem::CasResult HtmSystem::nontx_cas(CoreId c, Addr a,
   return r;
 }
 
-Addr HtmSystem::tx_alloc(CoreId c, std::size_t size) {
-  const Addr a = heap_.alloc(c, size);
+Addr HtmSystem::tx_alloc(CoreId c, std::size_t size, std::uint32_t pc) {
+  const Addr a = heap_.alloc(c, size, 8, pc);
   if (tx_[c].active) tx_[c].allocs.push_back(a);
   return a;
 }

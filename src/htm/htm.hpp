@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/prov.hpp"
 #include "obs/trace.hpp"
 #include "sim/heap.hpp"
 #include "sim/machine.hpp"
@@ -57,6 +58,14 @@ class HtmSystem final : public sim::ConflictSink {
   /// line, PC tag, aborter) when an abort is finalized. Null disables.
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
   obs::TraceSink* trace() { return trace_; }
+
+  /// Optional conflict-provenance sink (obs/prov.hpp). The HTM owns the
+  /// blame pipeline's hardware half: conflict/capacity stamps, footprint
+  /// capture (just before speculative state is cleared), and abort
+  /// finalization with heap/privacy attribution. Null disables; every
+  /// emission site is guarded so simulated results are unchanged either way.
+  void set_prov(obs::ProvSink* prov) { prov_ = prov; }
+  obs::ProvSink* prov() { return prov_; }
 
   /// Wire the privacy map (sim/privacy.hpp). The HTM owns every publication
   /// point through which an address can leave a core's private domain:
@@ -137,8 +146,10 @@ class HtmSystem final : public sim::ConflictSink {
                       std::uint64_t desired);
 
   /// Heap allocation inside a transaction; rolled back if the transaction
-  /// aborts. Outside a transaction it is a plain allocation.
-  Addr tx_alloc(CoreId c, std::size_t size);
+  /// aborts. Outside a transaction it is a plain allocation. `pc` is the
+  /// allocation-site PC forwarded to the heap (recorded only when site
+  /// tracking is on; 0 = unknown).
+  Addr tx_alloc(CoreId c, std::size_t size, std::uint32_t pc = 0);
   /// Deferred free: performed at commit, cancelled on abort.
   void tx_free(CoreId c, Addr a);
 
@@ -148,7 +159,7 @@ class HtmSystem final : public sim::ConflictSink {
   // sim::ConflictSink
   void on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
                          std::uint16_t pc_tag, std::uint32_t first_pc,
-                         CoreId requester) override;
+                         CoreId requester, std::uint32_t requester_pc) override;
 
   sim::Heap& heap() { return heap_; }
   sim::MemorySystem& mem() { return mem_; }
@@ -169,6 +180,10 @@ class HtmSystem final : public sim::ConflictSink {
   };
 
   void mark_capacity_abort(CoreId c, Addr a);
+  /// Stores the attempt's speculative footprint into the provenance sink if
+  /// it has not been captured yet (keep-first: capacity aborts capture at
+  /// stamp time because their speculative state is cleared immediately).
+  void prov_capture_footprint(CoreId c);
   std::uint64_t read_through_wb(const TxState& tx, Addr a, unsigned size) const;
   void write_to_wb(TxState& tx, Addr a, std::uint64_t v, unsigned size);
   void drain_wb(CoreId c, TxState& tx);
@@ -187,9 +202,11 @@ class HtmSystem final : public sim::ConflictSink {
   sim::MachineStats& stats_;
   std::function<Cycle()> clock_;
   obs::TraceSink* trace_ = nullptr;
+  obs::ProvSink* prov_ = nullptr;
   sim::PrivacyMap* priv_ = nullptr;
   std::vector<TxState> tx_;
   std::vector<Addr> publish_scratch_;  // reused across lazy commits
+  std::vector<Addr> prov_scratch_;     // reused across footprint captures
 };
 
 }  // namespace st::htm

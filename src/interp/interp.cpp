@@ -252,7 +252,7 @@ Interp::Step Interp::step_boundary(const DecodedInstr& ins) {
     }
     case DecOp::Alloc: {
       sim::Addr a = 0;
-      const auto m = env_.alloc(ext.type, a);
+      const auto m = env_.alloc(ext.type, a, ext.pc);
       out.cycles = m.latency;
       if (!m.ok) {
         out.aborted = true;

@@ -44,7 +44,10 @@ class ExecEnv {
   virtual Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) = 0;
 
   /// Allocation cost is charged by the env; `out` receives the address.
-  virtual Mem alloc(const ir::StructType* t, sim::Addr& out) = 0;
+  /// `pc` is the allocating instruction (the allocation site recorded by
+  /// the heap when provenance is on; cost-model-neutral otherwise).
+  virtual Mem alloc(const ir::StructType* t, sim::Addr& out,
+                    std::uint32_t pc) = 0;
   virtual void free_(sim::Addr a) = 0;
 
   struct AlpResult {

@@ -32,8 +32,9 @@ class TxExecutor::SpecEnv final : public ExecEnv {
     const auto r = e_.sys_.htm().nontx_store(e_.core_, a, v, size);
     return Mem{r.value, r.latency, r.ok};
   }
-  Mem alloc(const ir::StructType* t, sim::Addr& out) override {
-    out = e_.sys_.htm().tx_alloc(e_.core_, t->size);
+  Mem alloc(const ir::StructType* t, sim::Addr& out,
+            std::uint32_t pc) override {
+    out = e_.sys_.htm().tx_alloc(e_.core_, t->size, pc);
     return Mem{out, Interp::kAllocCost, true};
   }
   void free_(sim::Addr a) override { e_.sys_.htm().tx_free(e_.core_, a); }
@@ -70,6 +71,8 @@ class TxExecutor::SpecEnv final : public ExecEnv {
     }
 
     if (e.sys_.htm().pending_abort(e.core_)) {
+      if (auto* p = e.sys_.prov())
+        p->on_lock_wait_aborted(e.core_, e.sys_.machine().now());
       e.spinning_on_alp_ = false;
       return {cost, false, false};
     }
@@ -88,6 +91,8 @@ class TxExecutor::SpecEnv final : public ExecEnv {
       ctx.active_anchor = 0;
       e.spinning_on_alp_ = false;
       e.sys_.policy().on_lock_timeout(ctx);
+      if (auto* p = e.sys_.prov())
+        p->on_lock_timeout(e.core_, e.sys_.machine().now());
       if (auto* t = e.sys_.trace())
         t->emit(e.core_, {e.sys_.machine().now(),
                           obs::EventKind::kLockTimeout, 0, 0,
@@ -129,8 +134,9 @@ class TxExecutor::PlainEnv final : public ExecEnv {
     const auto r = e_.sys_.htm().nontx_store(e_.core_, a, v, size);
     return Mem{r.value, r.latency, r.ok};
   }
-  Mem alloc(const ir::StructType* t, sim::Addr& out) override {
-    out = e_.sys_.htm().tx_alloc(e_.core_, t->size);
+  Mem alloc(const ir::StructType* t, sim::Addr& out,
+            std::uint32_t pc) override {
+    out = e_.sys_.htm().tx_alloc(e_.core_, t->size, pc);
     return Mem{out, Interp::kAllocCost, true};
   }
   void free_(sim::Addr a) override { e_.sys_.htm().tx_free(e_.core_, a); }
@@ -249,6 +255,8 @@ sim::Cycle TxExecutor::begin_attempt() {
         if (lock_wait_accum_ > sys_.config().lock_timeout) {
           ++st.alp_timeouts;
           sys_.policy().on_lock_timeout(ctx);
+          if (auto* p = sys_.prov())
+            p->on_lock_timeout(core_, sys_.machine().now());
           if (auto* t = sys_.trace())
             t->emit(core_, {sys_.machine().now(),
                             obs::EventKind::kLockTimeout, 0, 0,
@@ -271,6 +279,7 @@ sim::Cycle TxExecutor::begin_attempt() {
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxBegin, 0, 0,
                     ab_id_, attempts_});
+  if (auto* p = sys_.prov()) p->on_attempt_begin(core_, ab_id_, attempts_);
   ctx_->arm();
   if (sys_.config().scheme == Scheme::kStaggeredSW)
     sys_.cpc().begin_tx(core_);
@@ -349,6 +358,7 @@ sim::Cycle TxExecutor::commit_sequence() {
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit, 0, 0,
                     ab_id_, attempts_});
+  if (auto* p = sys_.prov()) p->on_attempt_commit(core_, sys_.machine().now());
   result_ = spec_interp_->result();
   // The result crosses into the host (workload next_op logic), which can
   // hand it to any other core: publication point.
@@ -416,6 +426,10 @@ sim::Cycle TxExecutor::handle_abort(AbortCause self_cause) {
   sim::Cycle cost = kAbortHandlerCost;
   cost += sys_.locks().release(core_);
   spinning_on_alp_ = false;
+  if (auto* p = sys_.prov())
+    p->on_attempt_abort(core_, attempts_, attempt_cycles_,
+                        attempts_ >= sys_.config().max_retries,
+                        sys_.machine().now());
 
   auto& st = sys_.stats().core(core_);
   st.cycles_wasted_tx += attempt_cycles_;
@@ -451,6 +465,7 @@ sim::Cycle TxExecutor::glock_step() {
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kIrrevocable, 0,
                     0, ab_id_, attempts_});
+  if (auto* p = sys_.prov()) p->on_irrev_begin(core_, ab_id_);
   attempt_cycles_ = 0;
   plain_interp_->start(func_, args_);
   state_ = State::kIrrevRunning;
@@ -476,6 +491,7 @@ sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit,
                     /*irrevocable=*/1, 0, ab_id_, attempts_ + 1});
+  if (auto* p = sys_.prov()) p->on_attempt_commit(core_, sys_.machine().now());
   result_ = plain_interp_->result();
   sys_.htm().publish_host_value(core_, result_);
   if (auto* log = sys_.commit_log())

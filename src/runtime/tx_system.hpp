@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "htm/htm.hpp"
 #include "interp/jit.hpp"
+#include "obs/prov.hpp"
 #include "obs/trace.hpp"
 #include "sim/machine.hpp"
 #include "stagger/advisory_locks.hpp"
@@ -76,6 +77,11 @@ struct RuntimeConfig {
   /// CI-enforced identical with tracing on and off. Defaults OFF here;
   /// the workload harness fills it from STAGTM_TRACE.
   obs::TraceConfig trace;
+  /// Conflict provenance (obs/prov.hpp). A pure observer like trace: no
+  /// sink is allocated unless prov.enabled(), and simulated results are
+  /// CI-enforced byte-identical with provenance on and off. Defaults OFF
+  /// here; the workload harness fills it from STAGTM_PROF*.
+  obs::ProvConfig prov;
   /// Record every committed atomic block (identity, args, result, commit
   /// cycle) into TxSystem's CommitLog for the serializability oracle. Off
   /// by default: no log is allocated and the commit path is unchanged.
@@ -118,6 +124,10 @@ class TxSystem {
   /// Null unless cfg.trace.enabled(); every subsystem emits through this.
   obs::TraceSink* trace() { return trace_.get(); }
 
+  /// Null unless cfg.prov.enabled(); the HTM, lock table, and executors
+  /// feed it, the harness exports it.
+  obs::ProvSink* prov() { return prov_.get(); }
+
   /// Null unless cfg.record_commits; the TxExecutor appends on commit.
   CommitLog* commit_log() { return commit_log_.get(); }
 
@@ -129,6 +139,7 @@ class TxSystem {
   RuntimeConfig cfg_;
   stagger::CompiledProgram& prog_;
   std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::ProvSink> prov_;
   std::unique_ptr<CommitLog> commit_log_;
   sim::MachineStats stats_;
   sim::Machine machine_;

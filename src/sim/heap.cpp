@@ -41,7 +41,8 @@ void Heap::oom_fail(unsigned arena, std::size_t size, std::size_t cls) const {
   std::abort();
 }
 
-Addr Heap::alloc(unsigned arena, std::size_t size, std::size_t align) {
+Addr Heap::alloc(unsigned arena, std::size_t size, std::size_t align,
+                 std::uint32_t site) {
   ST_CHECK(arena < arena_count_);
   ST_CHECK(size > 0);
   ST_CHECK(std::has_single_bit(align) && align >= 8);
@@ -70,6 +71,16 @@ Addr Heap::alloc(unsigned arena, std::size_t size, std::size_t align) {
   bytes_allocated_ += cls;
   // Fresh blocks read as zero.
   std::memset(backing(a), 0, cls);
+  if (track_sites_) {
+    // Overwrite (never erase) so a re-carved block's lines point at their
+    // newest birth site; dealloc leaves entries stale on purpose.
+    const Addr first = a & ~static_cast<Addr>(kLineBytes - 1);
+    const Addr last = (a + cls - 1) & ~static_cast<Addr>(kLineBytes - 1);
+    std::size_t lines = 0;
+    for (Addr l = first; l <= last && lines < kMaxSiteLines;
+         l += kLineBytes, ++lines)
+      line_sites_.get_or_insert(l) = site;
+  }
   if (priv_ != nullptr) priv_->on_alloc(a, cls, arena);
   return a;
 }

@@ -37,8 +37,11 @@ class Heap {
 
   /// Allocate `size` bytes in `arena`, aligned to `align` (power of two,
   /// >= 8). Returns the simulated address. Never returns 0. Exhausting an
-  /// arena raises a simulated-OOM failure naming the arena.
-  Addr alloc(unsigned arena, std::size_t size, std::size_t align = 8);
+  /// arena raises a simulated-OOM failure naming the arena. `site` is the
+  /// allocation-site PC (0 = unknown); it is recorded per line only when
+  /// site tracking is on (a host-side observability aid, see below).
+  Addr alloc(unsigned arena, std::size_t size, std::size_t align = 8,
+             std::uint32_t site = 0);
 
   /// Allocate on a fresh cache line (used for lock words and other data
   /// where false sharing must be avoided by construction).
@@ -90,6 +93,30 @@ class Heap {
   /// configuration with no tracking.
   void set_privacy(PrivacyMap* priv) { priv_ = priv; }
 
+  // --- Allocation-site tracking (conflict provenance, obs/prov.hpp) ---
+  /// When on, alloc() records its `site` PC for every line of the block
+  /// (capped at kMaxSiteLines per block) so abort attribution can name the
+  /// allocation site of a conflicting line. Off by default: the map costs
+  /// memory and is a pure observability aid — nothing simulated reads it.
+  void set_site_tracking(bool on) { track_sites_ = on; }
+  bool site_tracking() const { return track_sites_; }
+  /// Allocation-site PC recorded for the line containing `a`, or 0 when
+  /// unknown (tracking off, line past the per-block cap, or a block freed
+  /// and re-carved — entries are overwritten at re-allocation, not erased).
+  std::uint32_t alloc_site_for(Addr a) const {
+    if (!track_sites_) return 0;
+    const std::uint32_t* p = line_sites_.find(a & ~static_cast<Addr>(kLineBytes - 1));
+    return p == nullptr ? 0 : *p;
+  }
+  /// The arena a heap address belongs to, or -1 for foreign addresses.
+  /// Pure base/stride arithmetic (arenas are fixed at construction).
+  int arena_of(Addr a) const {
+    if (a < kBase || a >= kBase + mem_size_) return -1;
+    const std::size_t idx =
+        static_cast<std::size_t>(a - kBase) / arena_stride();
+    return a < arenas_[idx].base + arena_bytes_ ? static_cast<int>(idx) : -1;
+  }
+
  private:
   // Arena starts are staggered by 67 lines each (67 is coprime to any
   // power-of-two set count): with naive 2^k-aligned bases, objects at equal
@@ -97,6 +124,9 @@ class Heap {
   // whose nodes were allocated by many threads overflows one set and aborts
   // on capacity instead of conflicts.
   static constexpr Addr kStagger = 67 * kLineBytes;
+  /// Site recording stops after this many lines of one block: a huge array
+  /// has one interesting birth site, not thousands of map entries.
+  static constexpr std::size_t kMaxSiteLines = 64;
   // Size classes are powers of two in [8, 2^(kMaxClassBits-1)]; free lists
   // are bucketed by log2(class).
   static constexpr unsigned kMaxClassBits = 48;
@@ -126,9 +156,13 @@ class Heap {
   // shift-3 key. The packed value is never 0 (log2(class) >= 3), so a
   // default-constructed slot from get_or_insert is distinguishable.
   LineMap<std::uint32_t, 3> block_sizes_;
+  // line addr -> allocation-site PC; populated only under site tracking.
+  // Lines are 64-byte aligned, hence the shift-6 key.
+  LineMap<std::uint32_t, 6> line_sites_;
   std::size_t bytes_allocated_ = 0;
   std::uint64_t invalid_frees_ = 0;
   PrivacyMap* priv_ = nullptr;
+  bool track_sites_ = false;
 };
 
 }  // namespace st::sim

@@ -19,7 +19,8 @@ MemorySystem::MemorySystem(const MemConfig& cfg, MachineStats& stats)
 }
 
 bool MemorySystem::conflict_check(CoreId remote, Addr line, AccessKind kind,
-                                  CoreId requester) {
+                                  CoreId requester,
+                                  std::uint32_t requester_pc) {
   // Under lazy detection, reads never kill anyone: speculative writes are
   // buffered, so the heap always serves committed data. Only stores (the
   // commit-time publish, nontransactional stores, irrevocable execution)
@@ -35,7 +36,8 @@ bool MemorySystem::conflict_check(CoreId remote, Addr line, AccessKind kind,
   const bool pc_valid = rl->pc_tag_valid;
   const std::uint16_t tag = rl->pc_tag;
   const std::uint32_t first = rl->first_pc;
-  sink_->on_conflict_abort(remote, line, pc_valid, tag, first, requester);
+  sink_->on_conflict_abort(remote, line, pc_valid, tag, first, requester,
+                           requester_pc);
   return true;
 }
 
@@ -149,7 +151,7 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       SharerMask m = e == nullptr ? SharerMask{} : e->sharers;
       m.clear(c);
       m.for_each_set([&](CoreId s) {
-        if (conflict_check(s, line, kind, c)) e = dir_probe(c, line);
+        if (conflict_check(s, line, kind, c, pc)) e = dir_probe(c, line);
         if (e == nullptr) return;
         invalidate_remote(s, line, *e);
         if (e->sharers.none()) {
@@ -166,7 +168,7 @@ AccessOutcome MemorySystem::access(CoreId c, Addr addr, unsigned size,
       if (owner >= 0 && owner != static_cast<int>(c)) {
         const bool conflicted =
             check_conflicts &&
-            conflict_check(static_cast<CoreId>(owner), line, kind, c);
+            conflict_check(static_cast<CoreId>(owner), line, kind, c, pc);
         if (conflicted) {
           // The victim's speculative copy was dropped; fetch from below.
           out.latency += cfg_.dir_lat + fill_latency(c, line);
@@ -272,7 +274,9 @@ Cycle MemorySystem::publish_line(CoreId c, Addr line) {
   SharerMask m = e == nullptr ? SharerMask{} : e->sharers;
   m.clear(c);
   m.for_each_set([&](CoreId s) {
-    if (conflict_check(s, line, AccessKind::Store, c)) e = dir_probe(c, line);
+    // PC 0: the publish happens at commit, outside any aggressor access.
+    if (conflict_check(s, line, AccessKind::Store, c, 0))
+      e = dir_probe(c, line);
     if (e == nullptr) return;
     invalidate_remote(s, line, *e);
     if (e->sharers.none()) {
@@ -299,6 +303,12 @@ void MemorySystem::speculative_written_lines(CoreId c,
   l1_[c]->for_each_speculative_ordered([&](const L1Line& l) {
     if (l.tx_write) out.push_back(l.line);
   });
+}
+
+void MemorySystem::speculative_line_addrs(CoreId c, std::vector<Addr>& out) {
+  out.clear();
+  l1_[c]->for_each_speculative_ordered(
+      [&](const L1Line& l) { out.push_back(l.line); });
 }
 
 void MemorySystem::clear_speculative(CoreId c, bool invalidate_written) {

@@ -61,9 +61,12 @@ class ConflictSink {
   /// A coherence request from `requester` conflicted with speculative state
   /// in `victim`'s L1. The sink must abort the victim transaction (it is
   /// expected to call MemorySystem::clear_speculative(victim, true)).
+  /// `requester_pc` is the aggressor access's program counter (0 when the
+  /// conflict fires outside an instruction, e.g. lazy commit publication).
   virtual void on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
                                  std::uint16_t pc_tag, std::uint32_t first_pc,
-                                 CoreId requester) = 0;
+                                 CoreId requester,
+                                 std::uint32_t requester_pc) = 0;
 };
 
 struct AccessOutcome {
@@ -145,6 +148,11 @@ class MemorySystem : public LineEscapeSink {
   /// non-const — but simulated state is untouched.
   void speculative_written_lines(CoreId c, std::vector<Addr>& out);
 
+  /// Line addresses of core c's whole speculative footprint (reads and
+  /// writes), in tag-array order. Same contract and cost as
+  /// speculative_written_lines; provenance captures footprints with it.
+  void speculative_line_addrs(CoreId c, std::vector<Addr>& out);
+
   /// Ends speculation for core c. With `invalidate_written`, speculatively
   /// written lines are dropped (abort); otherwise they stay valid (commit).
   /// O(footprint): walks the speculative-line log, not the whole L1.
@@ -186,7 +194,7 @@ class MemorySystem : public LineEscapeSink {
   /// of `kind`; aborts the remote transaction if so. Returns true when a
   /// conflict was found.
   bool conflict_check(CoreId remote, Addr line, AccessKind kind,
-                      CoreId requester);
+                      CoreId requester, std::uint32_t requester_pc);
 
   /// Invalidates `line` in `remote`'s L1 and in the directory entry `d`;
   /// the caller erases the entry when its sharer set empties.

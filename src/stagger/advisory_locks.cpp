@@ -34,12 +34,17 @@ AdvisoryLockTable::TryResult AdvisoryLockTable::try_acquire(
     if (trace_ != nullptr)
       trace_->emit(c, {held_[c].acquired_at, obs::EventKind::kLockAcquire,
                        0, 0, idx, sim::line_addr(data_addr)});
+    if (prov_ != nullptr) prov_->on_lock_acquired(c, held_[c].acquired_at);
   } else if (cas.observed != 0) {
     // Tell the holder someone wanted its lock (drives history decay).
     const sim::CoreId holder = static_cast<sim::CoreId>(cas.observed - 1);
-    if (holder < held_.size() &&
-        held_[holder].lock == static_cast<int>(idx))
-      held_[holder].contended = true;
+    const bool holder_valid = holder < held_.size() &&
+                              held_[holder].lock == static_cast<int>(idx);
+    if (holder_valid) held_[holder].contended = true;
+    if (prov_ != nullptr)
+      prov_->on_lock_wait(c, idx, sim::line_addr(data_addr),
+                          holder_valid ? static_cast<int>(holder) : -1,
+                          htm_.clock_now());
   }
   return r;
 }

@@ -53,9 +53,15 @@ class AdvisoryLockTable {
   /// regardless. Null disables event emission.
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
+  /// Optional provenance sink: a failed CAS against a held lock opens a
+  /// wait episode against the observed holder; a successful one resolves
+  /// it. Null disables (and changes nothing simulated).
+  void set_prov(obs::ProvSink* prov) { prov_ = prov; }
+
  private:
   htm::HtmSystem& htm_;
   obs::TraceSink* trace_ = nullptr;
+  obs::ProvSink* prov_ = nullptr;
   std::vector<sim::Addr> locks_;  // line-aligned lock words
   struct Held {
     int lock = -1;

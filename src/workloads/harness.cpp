@@ -158,6 +158,8 @@ runtime::RuntimeConfig make_runtime_config(const RunOptions& opt) {
   rt.unsafe_skip_subscription = opt.unsafe_skip_subscription;
   rt.trace = obs::TraceConfig::from_env();
   if (opt.trace_path.has_value()) rt.trace.path = *opt.trace_path;
+  rt.prov = obs::ProvConfig::from_env();
+  if (opt.prof_path.has_value()) rt.prov.path = *opt.prof_path;
   return rt;
 }
 
@@ -252,6 +254,22 @@ RunResult run_workload(Workload& wl, const RunOptions& opt) {
                      return n;
                    }()),
                    static_cast<unsigned long long>(sink->total_dropped()));
+  }
+
+  if (obs::ProvSink* prov = sys.prov()) {
+    // Same side-channel discipline as the trace export: stderr only, so
+    // bench stdout stays byte-identical with provenance on and off.
+    std::string err;
+    if (!obs::export_prov(*prov, rt.prov.path, &err))
+      std::fprintf(stderr, "STAGTM_PROF: %s\n", err.c_str());
+    else
+      std::fprintf(stderr, "[prof: %s, %llu blames, %llu dropped]\n",
+                   rt.prov.path.c_str(),
+                   static_cast<unsigned long long>(prov->total_blame()),
+                   static_cast<unsigned long long>(prov->total_dropped()));
+    r.prov_enabled = true;
+    r.prof_path = rt.prov.path;
+    r.prov = obs::summarize_prov(obs::snapshot(*prov));
   }
 
   r.workload = wl.name();

@@ -8,6 +8,7 @@
 
 #include "check/scheduler.hpp"
 #include "interp/jit.hpp"
+#include "obs/prov.hpp"
 #include "workloads/workload.hpp"
 
 namespace st::workloads {
@@ -55,6 +56,12 @@ struct RunOptions {
   /// forces it on (the runner points concurrent jobs at distinct files).
   /// Tracing never changes simulated results.
   std::optional<std::string> trace_path;
+  /// Conflict-provenance destination (obs/prov.hpp). nullopt (the default):
+  /// follow the STAGTM_PROF env knob. An explicit value overrides the
+  /// environment — empty forces provenance off (differential tests), a path
+  /// forces it on (the runner points concurrent jobs at distinct files).
+  /// Provenance never changes simulated results.
+  std::optional<std::string> prof_path;
   /// Schedule perturbation (src/check). nullopt (the default): follow the
   /// STAGTM_SCHED_* env knobs. An explicit value overrides the environment;
   /// a config with mode kNone forces the default deterministic schedule.
@@ -109,6 +116,12 @@ struct RunResult {
   std::string jit_mode = "off";
   std::uint32_t jit_threshold = 0;
   std::uint32_t jit_cap = 0;
+  /// Conflict-provenance summary (host-side observer output, excluded from
+  /// differential comparisons like host_threads/par). Meaningful only when
+  /// prov_enabled; prof_path names the binary file for stagtm-prof.
+  bool prov_enabled = false;
+  std::string prof_path;
+  obs::ProvSummary prov;
   /// Commit log (append order = serialization order); set in checked mode.
   std::shared_ptr<const runtime::CommitLog> commit_log;
   /// Workload::state_digest() of the final state (checked mode; 0 when the

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/env.hpp"
+#include "obs/prov.hpp"
 #include "obs/trace.hpp"
 
 namespace st::workloads {
@@ -77,6 +78,13 @@ std::size_t ExperimentRunner::submit(ExperimentJob job) {
       if (env_trace.enabled())
         job.options.trace_path =
             obs::uniquify_trace_path(env_trace.path, slots_.size());
+    }
+    // Same fix for STAGTM_PROF: one provenance file per job.
+    if (!job.options.prof_path.has_value()) {
+      static const obs::ProvConfig env_prov = obs::ProvConfig::from_env();
+      if (env_prov.enabled())
+        job.options.prof_path =
+            obs::uniquify_trace_path(env_prov.path, slots_.size());
     }
     job.options.host_threads =
         capped_host_threads(job.options.host_threads, jobs());

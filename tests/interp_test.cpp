@@ -38,7 +38,7 @@ struct MapEnv final : ExecEnv {
   Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) override {
     return store(a, v, size, 0);
   }
-  Mem alloc(const ir::StructType* t, sim::Addr& out) override {
+  Mem alloc(const ir::StructType* t, sim::Addr& out, std::uint32_t) override {
     out = next_alloc;
     next_alloc += (t->size + 63) & ~63u;
     return {out, Interp::kAllocCost, true};

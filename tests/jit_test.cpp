@@ -37,7 +37,7 @@ struct NullEnv final : interp::ExecEnv {
   Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) override {
     return store(a, v, size, 0);
   }
-  Mem alloc(const ir::StructType*, sim::Addr& out) override {
+  Mem alloc(const ir::StructType*, sim::Addr& out, std::uint32_t) override {
     out = 0x100000;
     return {out, interp::Interp::kAllocCost, true};
   }

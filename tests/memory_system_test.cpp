@@ -20,7 +20,7 @@ struct RecordingSink final : ConflictSink {
 
   void on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
                          std::uint16_t pc_tag, std::uint32_t first_pc,
-                         CoreId requester) override {
+                         CoreId requester, std::uint32_t) override {
     events.push_back({victim, line, pc_valid, pc_tag, first_pc, requester});
     mem->clear_speculative(victim, true);
   }

@@ -103,7 +103,7 @@ struct RecordingSink final : ConflictSink {
   MemorySystem* mem = nullptr;
   unsigned aborts = 0;
   void on_conflict_abort(CoreId victim, Addr, bool, std::uint16_t,
-                         std::uint32_t, CoreId) override {
+                         std::uint32_t, CoreId, std::uint32_t) override {
     ++aborts;
     mem->clear_speculative(victim, true);
   }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/prov.hpp"
 #include "obs/trace_export.hpp"
 
 namespace {
@@ -30,6 +31,11 @@ using st::obs::TraceEvent;
 struct AbortCell {
   std::uint64_t count = 0;
   std::uint64_t by_cause[8] = {};
+  // Filled from --prof: blame records join trace aborts on (core, cycle) —
+  // both are recorded at the same clock inside HtmSystem::abort.
+  std::uint32_t alloc_site = 0;
+  bool site_known = false;
+  std::uint64_t blamed = 0;  // aborts in this cell with a matching blame
 };
 
 struct LockRow {
@@ -50,9 +56,11 @@ struct Escape {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: stagtm-trace [--top N] <trace-file>\n"
+               "usage: stagtm-trace [--top N] [--prof F] <trace-file>\n"
                "  Summarizes a binary simulator trace (see obs/trace.hpp).\n"
-               "  --top N   rows in the abort heatmap (default 10)\n");
+               "  --top N   rows in the abort heatmap (default 10)\n"
+               "  --prof F  join a STAGTM_PROF provenance file: annotates the\n"
+               "            abort heatmap with each line's allocation site\n");
   return 2;
 }
 
@@ -61,12 +69,15 @@ int usage() {
 int main(int argc, char** argv) {
   unsigned top = 10;
   const char* path = nullptr;
+  const char* prof_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long v = std::strtoul(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || v < 1 || v > 1000) return usage();
       top = static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[i], "--prof") == 0 && i + 1 < argc) {
+      prof_path = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage();
     } else if (path == nullptr) {
@@ -92,6 +103,22 @@ int main(int argc, char** argv) {
                  "(.json traces are for Perfetto/chrome://tracing; point "
                  "STAGTM_TRACE at a non-.json path for this tool)\n");
     return 1;
+  }
+
+  // Optional provenance join: blame records and kTxAbort events are both
+  // recorded at the abort-finalization clock, so (core, cycle) is an exact
+  // key. Maps to the blamed line's allocation site for heatmap annotation.
+  std::map<std::pair<unsigned, std::uint64_t>, const st::obs::BlameRecord*>
+      blame_at;
+  st::obs::ProvData prov;
+  if (prof_path != nullptr) {
+    if (!st::obs::read_prov_file(prof_path, &prov, &err)) {
+      std::fprintf(stderr, "stagtm-trace: %s: %s\n", prof_path, err.c_str());
+      return 1;
+    }
+    for (const auto& pc : prov.per_core)
+      for (const st::obs::BlameRecord& r : pc.blames)
+        blame_at[{r.victim_core, r.at}] = &r;
   }
 
   // ---- per-core totals ----------------------------------------------------
@@ -123,6 +150,16 @@ int main(int argc, char** argv) {
           AbortCell& cell = heat[{e.a64, e.pc_tag}];
           ++cell.count;
           ++cell.by_cause[e.arg8 & 7];
+          if (!blame_at.empty()) {
+            const auto it = blame_at.find({c, e.at});
+            if (it != blame_at.end()) {
+              ++cell.blamed;
+              if (!cell.site_known) {
+                cell.alloc_site = it->second->alloc_site;
+                cell.site_known = true;
+              }
+            }
+          }
           break;
         }
         case EventKind::kAlpFired: ++alp_fired; break;
@@ -187,12 +224,28 @@ int main(int argc, char** argv) {
         return a.second.count > b.second.count;
       return a.first < b.first;  // deterministic tie-break
     });
-    std::printf("  %-18s %-7s %8s  %s\n", "line", "pc_tag", "aborts",
-                "causes");
+    if (prof_path != nullptr)
+      std::printf("  %-18s %-7s %8s %-12s %s\n", "line", "pc_tag", "aborts",
+                  "alloc_site", "causes");
+    else
+      std::printf("  %-18s %-7s %8s  %s\n", "line", "pc_tag", "aborts",
+                  "causes");
     if (rows.size() > top) rows.resize(top);
     for (const auto& [key, cell] : rows) {
-      std::printf("  0x%-16" PRIx64 " 0x%-5x %8" PRIu64 "  ", key.first,
+      std::printf("  0x%-16" PRIx64 " 0x%-5x %8" PRIu64 " ", key.first,
                   key.second, cell.count);
+      if (prof_path != nullptr) {
+        char site[16];
+        if (!cell.site_known)
+          std::snprintf(site, sizeof site, "%s", "?");
+        else if (cell.alloc_site == 0)
+          std::snprintf(site, sizeof site, "%s", "(static)");
+        else
+          std::snprintf(site, sizeof site, "0x%x", cell.alloc_site);
+        std::printf("%-12s ", site);
+      } else {
+        std::printf(" ");
+      }
       bool first = true;
       for (unsigned cz = 0; cz < 8; ++cz) {
         if (cell.by_cause[cz] == 0) continue;
@@ -202,6 +255,13 @@ int main(int argc, char** argv) {
         first = false;
       }
       std::printf("\n");
+    }
+    if (prof_path != nullptr) {
+      std::uint64_t blamed = 0;
+      for (const auto& [key, cell] : heat) blamed += cell.blamed;
+      std::printf("  blame join: %" PRIu64 "/%" PRIu64
+                  " aborts matched a provenance record\n",
+                  blamed, total_aborts);
     }
   }
 

@@ -160,11 +160,17 @@ class Sweep {
     double serial_ms = 0;
     std::fprintf(f, "{\n  \"bench\": \"");
     json_escape(f, name_);
+    const stm::StmConfig stm = stm::StmConfig::from_env();
     std::fprintf(f,
                  "\",\n  \"jobs\": %u,\n  \"threads\": %u,\n"
-                 "  \"scale\": %.17g,\n  \"seed\": %llu,\n  \"runs\": [",
+                 "  \"scale\": %.17g,\n  \"seed\": %llu,\n"
+                 "  \"max_retries\": %u,\n"
+                 "  \"stm\": {\"enabled\": %s, \"retries\": %u, "
+                 "\"orecs\": %u},\n  \"runs\": [",
                  jobs(), env_cores(), env_scale(),
-                 static_cast<unsigned long long>(env_seed()));
+                 static_cast<unsigned long long>(env_seed()),
+                 workloads::default_max_retries(),
+                 stm.enabled ? "true" : "false", stm.retries, stm.orecs);
     const std::size_t n = runner_.submitted();
     bool first = true;
     for (std::size_t i = 0; i < n; ++i) {

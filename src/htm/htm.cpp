@@ -1,5 +1,6 @@
 #include "htm/htm.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -374,6 +375,19 @@ void HtmSystem::tx_free(CoreId c, Addr a) {
     tx_[c].deferred_frees.push_back(a);
   else
     heap_.try_dealloc(a);
+}
+
+const std::vector<Addr>& HtmSystem::written_lines(CoreId c) {
+  written_scratch_.clear();
+  for (const auto& [chunk, wc] : tx_[c].wb) {
+    (void)wc;
+    written_scratch_.push_back(sim::line_addr(chunk << 3));
+  }
+  std::sort(written_scratch_.begin(), written_scratch_.end());
+  written_scratch_.erase(
+      std::unique(written_scratch_.begin(), written_scratch_.end()),
+      written_scratch_.end());
+  return written_scratch_;
 }
 
 std::size_t HtmSystem::write_buffer_bytes(CoreId c) const {

@@ -35,6 +35,12 @@ enum class AbortCause : std::uint8_t {
   Capacity,   // read/write set overflowed an L1 set
   Explicit,   // software xabort
   Glock,      // global fallback lock observed held at commit (subscription)
+  // STM-tier causes (src/stm): raised by the executor, never by the HTM
+  // pipeline itself. Kept in this enum so trace/blame records share one
+  // cause namespace across tiers.
+  StmValidation,  // orec precheck / read-set revalidation failed
+  StmLock,        // orec-lock acquisition timed out (writer contention)
+  StmGlock,       // glock observed held mid-attempt (irrevocable running)
 };
 
 struct AbortInfo {
@@ -156,6 +162,11 @@ class HtmSystem final : public sim::ConflictSink {
   const AbortInfo& peek_abort_info(CoreId c) const { return tx_[c].info; }
   std::size_t write_buffer_bytes(CoreId c) const;
 
+  /// Distinct cache lines buffered in the write set, sorted ascending
+  /// (scratch reuse — valid until the next call). The hybrid executor
+  /// inspects the STM orecs covering these at commit (DESIGN.md §16).
+  const std::vector<Addr>& written_lines(CoreId c);
+
   // sim::ConflictSink
   void on_conflict_abort(CoreId victim, Addr line, bool pc_valid,
                          std::uint16_t pc_tag, std::uint32_t first_pc,
@@ -207,6 +218,7 @@ class HtmSystem final : public sim::ConflictSink {
   std::vector<TxState> tx_;
   std::vector<Addr> publish_scratch_;  // reused across lazy commits
   std::vector<Addr> prov_scratch_;     // reused across footprint captures
+  std::vector<Addr> written_scratch_;  // reused across written_lines calls
 };
 
 }  // namespace st::htm

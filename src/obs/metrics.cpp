@@ -35,6 +35,13 @@ const std::vector<CounterDef>& counter_registry() {
       {"aborts_explicit", &CoreStats::aborts_explicit, Merge::kSum},
       {"aborts_glock", &CoreStats::aborts_glock, Merge::kSum},
       {"irrevocable_entries", &CoreStats::irrevocable_entries, Merge::kSum},
+      {"stm_commits", &CoreStats::stm_commits, Merge::kSum},
+      {"stm_aborts_validation", &CoreStats::stm_aborts_validation,
+       Merge::kSum},
+      {"stm_aborts_lock", &CoreStats::stm_aborts_lock, Merge::kSum},
+      {"stm_aborts_glock", &CoreStats::stm_aborts_glock, Merge::kSum},
+      {"stm_orec_waits", &CoreStats::stm_orec_waits, Merge::kSum},
+      {"stm_lock_acquires", &CoreStats::stm_lock_acquires, Merge::kSum},
       {"cycles_useful_tx", &CoreStats::cycles_useful_tx, Merge::kSum},
       {"cycles_wasted_tx", &CoreStats::cycles_wasted_tx, Merge::kSum},
       {"cycles_lock_wait", &CoreStats::cycles_lock_wait, Merge::kSum},
@@ -66,6 +73,7 @@ const std::vector<HistDef>& hist_registry() {
       {"tx_retries", &CoreStats::h_tx_retries},
       {"lock_hold", &CoreStats::h_lock_hold},
       {"spec_footprint", &CoreStats::h_spec_footprint},
+      {"tx_backoff", &CoreStats::h_tx_backoff},
   };
   return kHists;
 }

@@ -126,7 +126,7 @@ void ProvSink::on_abort_finalize(sim::CoreId c, std::uint8_t cause,
                                  sim::Addr line, bool pc_tag_valid,
                                  std::uint16_t pc_tag, std::uint32_t first_pc,
                                  std::uint32_t alloc_site, int priv_owner,
-                                 sim::Cycle at) {
+                                 sim::Cycle at, bool stm_tier) {
   PerCore& p = percore_[c];
   p.finalized = true;
   BlameRecord& r = p.finalize;
@@ -142,6 +142,7 @@ void ProvSink::on_abort_finalize(sim::CoreId c, std::uint8_t cause,
       priv_owner < 0 ? 0xFF : static_cast<std::uint8_t>(priv_owner);
   if (pc_tag_valid) r.flags |= kBlamePcTagValid;
   if (priv_owner >= 0) r.flags |= kBlameLinePrivate;
+  if (stm_tier) r.flags |= kBlameTierStm;
 }
 
 void ProvSink::on_lock_wait(sim::CoreId waiter, unsigned lock_idx,
@@ -530,6 +531,8 @@ ProvSummary summarize_prov(const ProvData& d) {
   for (const CoreProv& c : d.per_core) {
     s.blame_records += c.blame_emitted;
     s.lock_episodes += c.episodes_emitted;
+    for (const BlameRecord& r : c.blames)
+      if (r.flags & kBlameTierStm) ++s.stm_blames;
   }
   s.blame_dropped = d.blame_dropped();
   s.episodes_dropped = d.episodes_dropped();
@@ -553,8 +556,8 @@ void write_prov_summary_json(std::FILE* f, const ProvSummary& s) {
       "\"lock_episodes\": %llu, \"episodes_dropped\": %llu, "
       "\"conflict_avoided\": %llu, \"false_serialization\": %llu, "
       "\"indeterminate\": %llu, \"avoided_wait_cycles\": %llu, "
-      "\"false_wait_cycles\": %llu, \"graph_nodes\": %u, "
-      "\"graph_edges\": %u}",
+      "\"false_wait_cycles\": %llu, \"stm_blames\": %llu, "
+      "\"graph_nodes\": %u, \"graph_edges\": %u}",
       static_cast<unsigned long long>(s.blame_records),
       static_cast<unsigned long long>(s.blame_dropped),
       static_cast<unsigned long long>(s.lock_episodes),
@@ -563,7 +566,8 @@ void write_prov_summary_json(std::FILE* f, const ProvSummary& s) {
       static_cast<unsigned long long>(s.false_serialization),
       static_cast<unsigned long long>(s.indeterminate),
       static_cast<unsigned long long>(s.avoided_wait_cycles),
-      static_cast<unsigned long long>(s.false_wait_cycles), s.graph_nodes,
+      static_cast<unsigned long long>(s.false_wait_cycles),
+      static_cast<unsigned long long>(s.stm_blames), s.graph_nodes,
       s.graph_edges);
 }
 

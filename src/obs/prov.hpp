@@ -43,6 +43,7 @@ inline constexpr std::uint8_t kBlameAggressorIrrev = 1u << 2;
 inline constexpr std::uint8_t kBlameLinePrivate = 1u << 3;
 inline constexpr std::uint8_t kBlameFpTruncated = 1u << 4;
 inline constexpr std::uint8_t kBlameHasAggressor = 1u << 5;
+inline constexpr std::uint8_t kBlameTierStm = 1u << 6;  // STM-tier attempt
 
 /// One finalized abort, attributed. Fixed-size POD: written verbatim into
 /// the binary prof file (byte order is host order, like the trace format).
@@ -161,10 +162,13 @@ class ProvSink {
   /// Abort finalization (HtmSystem::abort): merges the hardware-reported
   /// info and the heap/privacy attribution into the pending blame. The
   /// executor's on_attempt_abort() closes the record with retry/cost data.
+  /// `stm_tier` marks an STM-tier attempt (executor-raised causes; sets
+  /// kBlameTierStm so stagtm-prof can split blame per execution tier).
   void on_abort_finalize(sim::CoreId c, std::uint8_t cause, sim::Addr line,
                          bool pc_tag_valid, std::uint16_t pc_tag,
                          std::uint32_t first_pc, std::uint32_t alloc_site,
-                         int priv_owner, sim::Cycle at);
+                         int priv_owner, sim::Cycle at,
+                         bool stm_tier = false);
 
   // ---- advisory-lock hooks (stagger/advisory_locks.cpp) ----
   /// First failed CAS opens a wait episode against the observed holder
@@ -321,6 +325,7 @@ struct ProvSummary {
   std::uint64_t indeterminate = 0;
   std::uint64_t avoided_wait_cycles = 0;
   std::uint64_t false_wait_cycles = 0;
+  std::uint64_t stm_blames = 0;  // surviving records with kBlameTierStm
   unsigned graph_nodes = 0;
   unsigned graph_edges = 0;
 };

@@ -31,8 +31,10 @@
 namespace st::obs {
 
 enum class EventKind : std::uint8_t {
-  kTxBegin = 0,     // a32 = atomic block id, a64 = attempt number (1-based)
-  kTxCommit,        // a32 = ab id, a64 = attempts used, arg8 = 1 if irrevocable
+  kTxBegin = 0,     // a32 = atomic block id, a64 = attempt number (1-based),
+                    // arg8 = execution tier (0 = HTM, 2 = STM)
+  kTxCommit,        // a32 = ab id, a64 = attempts used, arg8 = execution
+                    // tier: 0 = HTM, 1 = irrevocable (glock), 2 = STM
   kTxAbort,         // arg8 = htm::AbortCause, pc_tag = hw tag (when valid),
                     // a32 = aborter core + 1 (0 = self/none), a64 = line
   kAlpFired,        // a32 = ALP id, a64 = target line the lock protects

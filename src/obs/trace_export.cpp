@@ -17,10 +17,11 @@ TraceData snapshot(const TraceSink& sink) {
 }
 
 const char* abort_cause_name(std::uint8_t cause) {
-  // Mirrors htm::AbortCause (None, Conflict, Capacity, Explicit, Glock).
-  static constexpr const char* kNames[] = {"none", "conflict", "capacity",
-                                           "explicit", "glock"};
-  return cause < 5 ? kNames[cause] : "?";
+  // Mirrors htm::AbortCause (None..Glock plus the STM-tier causes).
+  static constexpr const char* kNames[] = {
+      "none",      "conflict",       "capacity", "explicit",
+      "glock",     "stm_validation", "stm_lock", "stm_glock"};
+  return cause < 8 ? kNames[cause] : "?";
 }
 
 const char* policy_decision_name(std::uint8_t decision) {

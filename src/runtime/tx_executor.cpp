@@ -42,67 +42,60 @@ class TxExecutor::SpecEnv final : public ExecEnv {
   AlpResult alpoint(std::uint32_t alp_id, sim::Addr data_addr,
                     std::uint32_t pc) override {
     (void)pc;
-    TxExecutor& e = e_;
-    auto& st = e.sys_.stats().core(e.core_);
-    stagger::ABContext& ctx = *e.ctx_;
-    sim::Cycle cost = Interp::kInactiveAlpCost;
+    return e_.do_alpoint(alp_id, data_addr, /*check_pending=*/true);
+  }
 
-    if (!e.spinning_on_alp_) {
-      ++st.alp_executed;
-      if (e.sys_.config().scheme == Scheme::kStaggeredSW)
-        cost += e.sys_.cpc().record(e.core_, data_addr, alp_id);
-      // Fig. 5: fire only when this ALP is the active anchor and the data
-      // address matches the remembered conflict address (or wildcard).
-      if (ctx.active_anchor != alp_id) return {cost, false, true};
-      sim::Addr target = data_addr != 0 ? data_addr : ctx.block_address;
-      if (ctx.block_address != 0 && target != 0 &&
-          sim::line_addr(target) != sim::line_addr(ctx.block_address))
-        return {cost, false, true};
-      if (target == 0) {  // nothing concrete to lock yet
-        ctx.active_anchor = 0;
-        return {cost, false, true};
-      }
-      e.alp_target_ = target;
-      e.lock_wait_accum_ = 0;
-      if (auto* t = e.sys_.trace())
-        t->emit(e.core_, {e.sys_.machine().now(),
-                          obs::EventKind::kAlpFired, 0, 0, alp_id,
-                          sim::line_addr(target)});
-    }
+ private:
+  TxExecutor& e_;
+};
 
-    if (e.sys_.htm().pending_abort(e.core_)) {
-      if (auto* p = e.sys_.prov())
-        p->on_lock_wait_aborted(e.core_, e.sys_.machine().now());
-      e.spinning_on_alp_ = false;
-      return {cost, false, false};
-    }
-    const auto r = e.sys_.locks().try_acquire(e.core_, e.alp_target_);
-    if (r.acquired) {
-      ctx.active_anchor = 0;  // one lock per transaction (Fig. 5 line 4)
-      ++st.alp_acquires;
-      e.spinning_on_alp_ = false;
-      return {cost + r.latency, false, true};
-    }
-    e.lock_wait_accum_ += r.latency + kSpinPad;
-    if (e.lock_wait_accum_ > e.sys_.config().lock_timeout) {
-      // Give up and run unprotected (§2: "simply proceed when the timeout
-      // expires"); correctness stays with the HTM.
-      ++st.alp_timeouts;
-      ctx.active_anchor = 0;
-      e.spinning_on_alp_ = false;
-      e.sys_.policy().on_lock_timeout(ctx);
-      if (auto* p = e.sys_.prov())
-        p->on_lock_timeout(e.core_, e.sys_.machine().now());
-      if (auto* t = e.sys_.trace())
-        t->emit(e.core_, {e.sys_.machine().now(),
-                          obs::EventKind::kLockTimeout, 0, 0,
-                          e.sys_.locks().lock_index(e.alp_target_),
-                          e.lock_wait_accum_});
-      return {cost + r.latency, false, true};
-    }
-    e.spinning_on_alp_ = true;
-    e.last_step_lock_wait_ = true;
-    return {r.latency + kSpinPad, true, true};
+// ---------------------------------------------------------------------------
+// STM environment: TL2 read/write-set accesses (src/stm) + live ALPoints.
+// Only constructed when the tier is enabled.
+// ---------------------------------------------------------------------------
+class TxExecutor::StmEnv final : public ExecEnv {
+ public:
+  explicit StmEnv(TxExecutor& e) : e_(e) {}
+
+  Mem load(sim::Addr a, unsigned size, std::uint32_t pc) override {
+    const auto r = e_.sys_.stm()->read(e_.core_, a, size, pc);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem store(sim::Addr a, std::uint64_t v, unsigned size,
+            std::uint32_t pc) override {
+    (void)pc;
+    const sim::Cycle lat = e_.sys_.stm()->write(e_.core_, a, v, size);
+    return Mem{v, lat, true};
+  }
+  Mem nt_load(sim::Addr a, unsigned size) override {
+    const auto r = e_.sys_.htm().nontx_load(e_.core_, a, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) override {
+    const auto r = e_.sys_.htm().nontx_store(e_.core_, a, v, size);
+    return Mem{r.value, r.latency, r.ok};
+  }
+  Mem alloc(const ir::StructType* t, sim::Addr& out,
+            std::uint32_t pc) override {
+    // The HTM sees no active transaction, so this is a plain allocation;
+    // the executor tracks it for rollback on STM abort (stm_abort).
+    out = e_.sys_.htm().tx_alloc(e_.core_, t->size, pc);
+    e_.stm_allocs_.push_back(out);
+    return Mem{out, Interp::kAllocCost, true};
+  }
+  void free_(sim::Addr a) override {
+    // Deferred like the HTM's tx_free: performed at commit, dropped on
+    // abort (the block may still be read by the retry).
+    e_.stm_frees_.push_back(a);
+  }
+
+  AlpResult alpoint(std::uint32_t alp_id, sim::Addr data_addr,
+                    std::uint32_t pc) override {
+    (void)pc;
+    // Same advisory-lock protocol as the speculative tier — the paper's
+    // scheme serializes conflicting blocks whichever tier runs them. STM
+    // attempts have no asynchronous aborts, so no pending check.
+    return e_.do_alpoint(alp_id, data_addr, /*check_pending=*/false);
   }
 
  private:
@@ -123,7 +116,12 @@ class TxExecutor::PlainEnv final : public ExecEnv {
   }
   Mem store(sim::Addr a, std::uint64_t v, unsigned size,
             std::uint32_t pc) override {
-    const auto r = e_.sys_.htm().plain_store(e_.core_, a, v, size, pc);
+    auto r = e_.sys_.htm().plain_store(e_.core_, a, v, size, pc);
+    // Irrevocable stores are committed state the moment they land; stamp
+    // the covering orec so concurrent STM readers/validators observe them
+    // (DESIGN.md §16 — eager coherence only aborts HTM transactions).
+    if (auto* stm = e_.sys_.stm())
+      r.latency += stm->irrev_stamp(e_.core_, sim::line_addr(a));
     return Mem{r.value, r.latency, r.ok};
   }
   Mem nt_load(sim::Addr a, unsigned size) override {
@@ -131,7 +129,9 @@ class TxExecutor::PlainEnv final : public ExecEnv {
     return Mem{r.value, r.latency, r.ok};
   }
   Mem nt_store(sim::Addr a, std::uint64_t v, unsigned size) override {
-    const auto r = e_.sys_.htm().nontx_store(e_.core_, a, v, size);
+    auto r = e_.sys_.htm().nontx_store(e_.core_, a, v, size);
+    if (auto* stm = e_.sys_.stm())
+      r.latency += stm->irrev_stamp(e_.core_, sim::line_addr(a));
     return Mem{r.value, r.latency, r.ok};
   }
   Mem alloc(const ir::StructType* t, sim::Addr& out,
@@ -158,6 +158,10 @@ TxExecutor::TxExecutor(TxSystem& sys, sim::CoreId core)
   plain_env_ = std::make_unique<PlainEnv>(*this);
   spec_interp_ = std::make_unique<Interp>(*spec_env_, &sys_.config().jit);
   plain_interp_ = std::make_unique<Interp>(*plain_env_, &sys_.config().jit);
+  if (sys_.stm() != nullptr) {
+    stm_env_ = std::make_unique<StmEnv>(*this);
+    stm_interp_ = std::make_unique<Interp>(*stm_env_, &sys_.config().jit);
+  }
 }
 
 TxExecutor::~TxExecutor() = default;
@@ -169,8 +173,17 @@ void TxExecutor::start(unsigned ab_id, std::vector<std::uint64_t> args) {
   args_ = std::move(args);
   ctx_ = &sys_.abctx(core_, ab_id);
   attempts_ = 0;
+  stm_attempts_ = 0;
+  stm_allocs_.clear();
+  stm_frees_.clear();
   lock_wait_accum_ = 0;
-  state_ = State::kBeginAttempt;
+  // STAGTM_MAX_RETRIES=0: skip hardware transactions entirely and start in
+  // the strongest enabled fallback tier.
+  if (sys_.config().max_retries == 0)
+    state_ = sys_.stm() != nullptr ? State::kStmBeginAttempt
+                                   : State::kGlockAcquire;
+  else
+    state_ = State::kBeginAttempt;
 }
 
 std::uint64_t TxExecutor::take_result() {
@@ -209,6 +222,11 @@ bool TxExecutor::step_commutes() const {
 
 bool TxExecutor::next_step_local() const {
   switch (state_) {
+    case State::kStmRunning:
+      // Pure-register runs only: STM loads/stores consult the orec table
+      // and the redo log's versioned metadata, which are shared state even
+      // when the data line is private — never window-local.
+      return stm_interp_->next_is_pure();
     case State::kRunning:
       // A pending abort stamp does NOT matter here: run_step observes
       // stamps only at non-commuting steps, so a doomed attempt's
@@ -229,6 +247,10 @@ sim::Cycle TxExecutor::step(sim::Cycle budget) {
   switch (state_) {
     case State::kBeginAttempt: return begin_attempt();
     case State::kRunning: return run_step(budget);
+    case State::kStmBeginAttempt: return stm_begin_attempt();
+    case State::kStmRunning: return stm_run_step(budget);
+    case State::kStmLockAcquire: return stm_lock_step();
+    case State::kStmCommit: return stm_commit_step();
     case State::kGlockAcquire: return glock_step();
     case State::kIrrevRunning: return irrev_step(budget);
     default:
@@ -239,6 +261,69 @@ sim::Cycle TxExecutor::step(sim::Cycle budget) {
 
 sim::Addr TxExecutor::sched_lock_key() const {
   return sys_.glock_addr() + sim::kLineBytes * (ab_id_ + 1);
+}
+
+interp::ExecEnv::AlpResult TxExecutor::do_alpoint(std::uint32_t alp_id,
+                                                  sim::Addr data_addr,
+                                                  bool check_pending) {
+  auto& st = sys_.stats().core(core_);
+  stagger::ABContext& ctx = *ctx_;
+  sim::Cycle cost = Interp::kInactiveAlpCost;
+
+  if (!spinning_on_alp_) {
+    ++st.alp_executed;
+    if (sys_.config().scheme == Scheme::kStaggeredSW)
+      cost += sys_.cpc().record(core_, data_addr, alp_id);
+    // Fig. 5: fire only when this ALP is the active anchor and the data
+    // address matches the remembered conflict address (or wildcard).
+    if (ctx.active_anchor != alp_id) return {cost, false, true};
+    sim::Addr target = data_addr != 0 ? data_addr : ctx.block_address;
+    if (ctx.block_address != 0 && target != 0 &&
+        sim::line_addr(target) != sim::line_addr(ctx.block_address))
+      return {cost, false, true};
+    if (target == 0) {  // nothing concrete to lock yet
+      ctx.active_anchor = 0;
+      return {cost, false, true};
+    }
+    alp_target_ = target;
+    lock_wait_accum_ = 0;
+    if (auto* t = sys_.trace())
+      t->emit(core_, {sys_.machine().now(), obs::EventKind::kAlpFired, 0, 0,
+                      alp_id, sim::line_addr(target)});
+  }
+
+  if (check_pending && sys_.htm().pending_abort(core_)) {
+    if (auto* p = sys_.prov())
+      p->on_lock_wait_aborted(core_, sys_.machine().now());
+    spinning_on_alp_ = false;
+    return {cost, false, false};
+  }
+  const auto r = sys_.locks().try_acquire(core_, alp_target_);
+  if (r.acquired) {
+    ctx.active_anchor = 0;  // one lock per transaction (Fig. 5 line 4)
+    ++st.alp_acquires;
+    spinning_on_alp_ = false;
+    return {cost + r.latency, false, true};
+  }
+  lock_wait_accum_ += r.latency + kSpinPad;
+  if (lock_wait_accum_ > sys_.config().lock_timeout) {
+    // Give up and run unprotected (§2: "simply proceed when the timeout
+    // expires"); correctness stays with the TM tier.
+    ++st.alp_timeouts;
+    ctx.active_anchor = 0;
+    spinning_on_alp_ = false;
+    sys_.policy().on_lock_timeout(ctx);
+    if (auto* p = sys_.prov())
+      p->on_lock_timeout(core_, sys_.machine().now());
+    if (auto* t = sys_.trace())
+      t->emit(core_, {sys_.machine().now(), obs::EventKind::kLockTimeout, 0,
+                      0, sys_.locks().lock_index(alp_target_),
+                      lock_wait_accum_});
+    return {cost + r.latency, false, true};
+  }
+  spinning_on_alp_ = true;
+  last_step_lock_wait_ = true;
+  return {r.latency + kSpinPad, true, true};
 }
 
 sim::Cycle TxExecutor::begin_attempt() {
@@ -332,6 +417,42 @@ sim::Cycle TxExecutor::commit_sequence() {
     if (sub.value != 0) return cost + handle_abort(AbortCause::Glock);
   }
 
+  // HTM<->STM coexistence (DESIGN.md §16), subscription-style: inspect the
+  // orecs covering our write footprint with nontransactional loads (orec
+  // words must never enter our own speculative set). A locked orec is an
+  // STM writer mid-commit whose validated reads we are about to overwrite —
+  // the hardware transaction yields. Then pre-bump the global version clock
+  // so in-flight STM readers revalidate against this commit; the covered
+  // orecs are stamped at the new version once the write set has drained.
+  // (A stale bump from a commit that subsequently fails is harmless: no
+  // data changed, later STM validations are merely conservative.)
+  std::uint64_t stm_wv = 0;
+  const std::vector<std::uint32_t>* stamp_orecs = nullptr;
+  if (auto* stm = sys_.stm()) {
+    const auto& lines = sys_.htm().written_lines(core_);
+    if (!lines.empty()) {
+      const auto& orecs = stm->orecs_for_lines(lines);
+      for (std::uint32_t idx : orecs) {
+        const auto w = sys_.htm().nontx_load(core_, stm->orec_addr(idx), 8);
+        cost += w.latency;
+        attempt_cycles_ += w.latency;
+        if (!w.ok) return cost + handle_abort(AbortCause::None);
+        if (stm::orec_locked(w.value))
+          return cost + handle_abort(AbortCause::StmLock);
+      }
+      const auto clk = sys_.htm().nontx_load(core_, stm->clock_addr(), 8);
+      cost += clk.latency;
+      attempt_cycles_ += clk.latency;
+      if (!clk.ok) return cost + handle_abort(AbortCause::None);
+      stm_wv = clk.value + 1;
+      const auto cs =
+          sys_.htm().nontx_store(core_, stm->clock_addr(), stm_wv, 8);
+      cost += cs.latency;
+      attempt_cycles_ += cs.latency;
+      stamp_orecs = &orecs;
+    }
+  }
+
   const bool held = sys_.locks().holds_lock(core_);
   // "No contention on that lock" (§5.2): nobody queued on the lock AND the
   // transaction needed no retries — evidence the serialization was not
@@ -341,6 +462,16 @@ sim::Cycle TxExecutor::commit_sequence() {
   sim::Cycle publish = 0;
   if (!sys_.htm().commit(core_, &publish))
     return cost + handle_abort(AbortCause::None);
+
+  if (stamp_orecs != nullptr) {
+    for (std::uint32_t idx : *stamp_orecs) {
+      const auto ss = sys_.htm().nontx_store(
+          core_, sys_.stm()->orec_addr(idx), stm::orec_word(stm_wv, false),
+          8);
+      cost += ss.latency;
+      attempt_cycles_ += ss.latency;
+    }
+  }
 
   cost += kCommitCost + publish;
   attempt_cycles_ += kCommitCost + publish;
@@ -367,7 +498,7 @@ sim::Cycle TxExecutor::commit_sequence() {
     log->push_back({sys_.machine().now(), core_,
                     static_cast<std::uint16_t>(ab_id_),
                     static_cast<std::uint16_t>(attempts_),
-                    /*irrevocable=*/false, result_, args_});
+                    /*irrevocable=*/false, /*tier=*/0, result_, args_});
   state_ = State::kFinished;
   return cost;
 }
@@ -426,9 +557,12 @@ sim::Cycle TxExecutor::handle_abort(AbortCause self_cause) {
   sim::Cycle cost = kAbortHandlerCost;
   cost += sys_.locks().release(core_);
   spinning_on_alp_ = false;
+  // With the STM tier on, exhausting HTM retries falls to STM, not the
+  // glock — will_glock stays accurate for the blame pipeline.
+  const bool exhausted = attempts_ >= sys_.config().max_retries;
+  const bool will_glock = exhausted && sys_.stm() == nullptr;
   if (auto* p = sys_.prov())
-    p->on_attempt_abort(core_, attempts_, attempt_cycles_,
-                        attempts_ >= sys_.config().max_retries,
+    p->on_attempt_abort(core_, attempts_, attempt_cycles_, will_glock,
                         sys_.machine().now());
 
   auto& st = sys_.stats().core(core_);
@@ -440,14 +574,16 @@ sim::Cycle TxExecutor::handle_abort(AbortCause self_cause) {
 
   if (info.cause == AbortCause::Conflict) resolve_and_train(info);
 
-  if (attempts_ >= sys_.config().max_retries) {
-    state_ = State::kGlockAcquire;
+  if (exhausted) {
+    state_ = sys_.stm() != nullptr ? State::kStmBeginAttempt
+                                   : State::kGlockAcquire;
     return cost;
   }
   // Polite backoff: mean delay proportional to the retry count.
   const sim::Cycle mean = sys_.config().backoff_base * attempts_;
   const sim::Cycle delay = sys_.rng(core_).next_below(2 * mean + 1);
   st.cycles_backoff += delay;
+  st.h_tx_backoff.add(delay);
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kBackoff, 0, 0,
                     attempts_, delay});
@@ -464,12 +600,25 @@ sim::Cycle TxExecutor::glock_step() {
   ++sys_.stats().core(core_).irrevocable_entries;
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kIrrevocable, 0,
-                    0, ab_id_, attempts_});
+                    0, ab_id_, total_attempts()});
   if (auto* p = sys_.prov()) p->on_irrev_begin(core_, ab_id_);
   attempt_cycles_ = 0;
+  sim::Cycle cost = cas.latency;
+  if (auto* stm = sys_.stm()) {
+    // Irrevocable writes serialize after everything committed so far: bump
+    // the clock once and stamp the orec of every line this execution
+    // stores to at the new version (PlainEnv::store). STM attempts cannot
+    // begin while the glock is held, and live ones fail validation on any
+    // stamped orec they read.
+    const auto clk = sys_.htm().nontx_load(core_, stm->clock_addr(), 8);
+    const std::uint64_t wv = clk.value + 1;
+    const auto cs = sys_.htm().nontx_store(core_, stm->clock_addr(), wv, 8);
+    cost += clk.latency + cs.latency;
+    stm->begin_irrev(core_, wv);
+  }
   plain_interp_->start(func_, args_);
   state_ = State::kIrrevRunning;
-  return cas.latency;
+  return cost;
 }
 
 sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
@@ -485,24 +634,225 @@ sim::Cycle TxExecutor::irrev_step(sim::Cycle budget) {
   instrs_done_ += plain_interp_->instrs_executed();
   ++st.commits;  // a serialized execution still commits its atomic block
   st.h_tx_cycles.add(attempt_cycles_);
-  // The serial execution counts as the final "attempt" after attempts_
-  // failed speculative tries.
-  st.h_tx_retries.add(attempts_ + 1);
+  // The serial execution counts as the final "attempt" after the failed
+  // speculative (HTM + STM) tries.
+  st.h_tx_retries.add(total_attempts() + 1);
   if (auto* t = sys_.trace())
     t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit,
-                    /*irrevocable=*/1, 0, ab_id_, attempts_ + 1});
+                    /*tier=*/1, 0, ab_id_, total_attempts() + 1});
   if (auto* p = sys_.prov()) p->on_attempt_commit(core_, sys_.machine().now());
   result_ = plain_interp_->result();
   sys_.htm().publish_host_value(core_, result_);
   if (auto* log = sys_.commit_log())
     log->push_back({sys_.machine().now(), core_,
                     static_cast<std::uint16_t>(ab_id_),
-                    static_cast<std::uint16_t>(attempts_ + 1),
-                    /*irrevocable=*/true, result_, args_});
+                    static_cast<std::uint16_t>(total_attempts() + 1),
+                    /*irrevocable=*/true, /*tier=*/1, result_, args_});
   const sim::Cycle rel =
       sys_.htm().nontx_store(core_, sys_.glock_addr(), 0, 8).latency;
   state_ = State::kFinished;
   return s.cycles + rel;
+}
+
+// ---------------------------------------------------------------------------
+// STM tier (DESIGN.md §16). Reached only when sys_.stm() != nullptr, so the
+// interpreter/env members are always live here.
+// ---------------------------------------------------------------------------
+
+sim::Cycle TxExecutor::stm_begin_attempt() {
+  auto* stm = sys_.stm();
+  // STM attempts never start while an irrevocable execution holds the
+  // global lock: its plain stores bypass orec locking, so running under it
+  // could validate against half-applied state. Spin here (glock holders
+  // are short-lived by design).
+  const auto g = sys_.htm().nontx_load(core_, sys_.glock_addr(), 8);
+  if (g.value != 0) {
+    sys_.stats().core(core_).cycles_lock_wait += g.latency + kSpinPad;
+    return g.latency + kSpinPad;
+  }
+  ++stm_attempts_;
+  attempt_cycles_ = 0;
+  lock_wait_accum_ = 0;
+  spinning_on_alp_ = false;
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxBegin,
+                    /*tier=*/2, 0, ab_id_, total_attempts()});
+  if (auto* p = sys_.prov())
+    p->on_attempt_begin(core_, ab_id_, total_attempts());
+  ctx_->arm();
+  if (sys_.config().scheme == Scheme::kStaggeredSW) sys_.cpc().begin_tx(core_);
+  const sim::Cycle bl = stm->begin(core_);
+  stm_interp_->start(func_, args_);
+  state_ = State::kStmRunning;
+  attempt_cycles_ += kBeginCost + g.latency + bl;
+  return kBeginCost + g.latency + bl;
+}
+
+sim::Cycle TxExecutor::stm_run_step(sim::Cycle budget) {
+  last_step_lock_wait_ = false;
+  const auto s = stm_interp_->step(budget);
+  if (s.aborted) {
+    // An StmEnv read failed its orec precheck (locked, or written since our
+    // read version): TL2 opacity abort.
+    attempt_cycles_ += s.cycles;
+    return s.cycles + stm_abort(AbortCause::StmValidation);
+  }
+  if (last_step_lock_wait_)
+    sys_.stats().core(core_).cycles_lock_wait += s.cycles;
+  else
+    attempt_cycles_ += s.cycles;
+  if (s.finished) {
+    if (sys_.stm()->read_only(core_))
+      return s.cycles + stm_commit_step();  // nothing to lock
+    lock_wait_accum_ = 0;
+    state_ = State::kStmLockAcquire;
+  }
+  return s.cycles;
+}
+
+sim::Cycle TxExecutor::stm_lock_step() {
+  // A concurrent irrevocable execution can stamp (clobber) orecs we hold;
+  // bail out before acquiring more rather than validating against its
+  // half-applied writes. Observing the glock free here is enough: the
+  // stamps an irrevocable execution already finished are ordinary version
+  // bumps that commit-time validation checks like any other.
+  const auto g = sys_.htm().nontx_load(core_, sys_.glock_addr(), 8);
+  attempt_cycles_ += g.latency;
+  if (g.value != 0) return g.latency + stm_abort(AbortCause::StmGlock);
+
+  const auto ls = sys_.stm()->lock_next(core_);
+  if (ls.status == stm::StmSystem::LockStatus::kBusy) {
+    // Bounded spin on another writer's orec: same timestamp policy as the
+    // advisory-lock spin. We deliberately do NOT wait while holding locks
+    // forever — the timeout breaks writer-writer deadlocks.
+    lock_wait_accum_ += ls.latency + kSpinPad;
+    sys_.stats().core(core_).cycles_lock_wait +=
+        g.latency + ls.latency + kSpinPad;
+    if (lock_wait_accum_ > sys_.config().lock_timeout)
+      return ls.latency + stm_abort(AbortCause::StmLock);
+    return g.latency + ls.latency + kSpinPad;
+  }
+  attempt_cycles_ += ls.latency;
+  if (ls.status == stm::StmSystem::LockStatus::kAllHeld)
+    state_ = State::kStmCommit;
+  return g.latency + ls.latency;
+}
+
+sim::Cycle TxExecutor::stm_commit_step() {
+  auto* stm = sys_.stm();
+  sim::Cycle cost = 0;
+  if (!stm->read_only(core_)) {
+    // Writers must not drain their redo log concurrently with an
+    // irrevocable execution's plain stores. (Read-only commits need no such
+    // check: validation alone proves they serialize before any in-flight
+    // irrevocable writer.)
+    const auto g = sys_.htm().nontx_load(core_, sys_.glock_addr(), 8);
+    cost += g.latency;
+    attempt_cycles_ += g.latency;
+    if (g.value != 0) return cost + stm_abort(AbortCause::StmGlock);
+  }
+  const auto r = stm->commit(core_);
+  cost += r.latency + kCommitCost;
+  attempt_cycles_ += r.latency + kCommitCost;
+  if (!r.ok) return cost + stm_abort(AbortCause::StmValidation);
+
+  // Committed: perform deferred frees, keep the attempt's allocations.
+  for (sim::Addr a : stm_frees_) sys_.heap().try_dealloc(a);
+  stm_frees_.clear();
+  stm_allocs_.clear();
+
+  const bool held = sys_.locks().holds_lock(core_);
+  const bool contended =
+      sys_.locks().contended_while_held(core_) && total_attempts() > 1;
+  cost += sys_.locks().release(core_);
+  if (sys_.config().scheme != Scheme::kBaseline)
+    sys_.policy().on_commit(*ctx_, held, contended, total_attempts() == 1);
+
+  auto& st = sys_.stats().core(core_);
+  ++st.commits;
+  ++st.stm_commits;
+  st.cycles_useful_tx += attempt_cycles_;
+  st.tx_instrs += stm_interp_->instrs_executed();
+  st.interp_instrs += stm_interp_->instrs_executed();
+  instrs_done_ += stm_interp_->instrs_executed();
+  st.h_tx_cycles.add(attempt_cycles_);
+  st.h_tx_retries.add(total_attempts());
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxCommit,
+                    /*tier=*/2, 0, ab_id_, total_attempts()});
+  if (auto* p = sys_.prov()) p->on_attempt_commit(core_, sys_.machine().now());
+  result_ = stm_interp_->result();
+  sys_.htm().publish_host_value(core_, result_);
+  if (auto* log = sys_.commit_log())
+    log->push_back({sys_.machine().now(), core_,
+                    static_cast<std::uint16_t>(ab_id_),
+                    static_cast<std::uint16_t>(total_attempts()),
+                    /*irrevocable=*/false, /*tier=*/2, result_, args_});
+  state_ = State::kFinished;
+  return cost;
+}
+
+sim::Cycle TxExecutor::stm_abort(AbortCause cause) {
+  auto* stm = sys_.stm();
+  sim::Cycle cost = kAbortHandlerCost;
+  // commit() failure already released + reset; every other path aborts the
+  // live attempt here.
+  if (stm->active(core_)) cost += stm->abort(core_);
+  const sim::Addr line = sim::line_addr(stm->conflict_addr(core_));
+  cost += sys_.locks().release(core_);
+  spinning_on_alp_ = false;
+  // Roll back this attempt's allocations (forward order, mirroring
+  // HtmSystem::abort, so the live and replayed allocator streams match);
+  // drop deferred frees.
+  for (sim::Addr a : stm_allocs_) sys_.heap().try_dealloc(a);
+  stm_allocs_.clear();
+  stm_frees_.clear();
+
+  auto& st = sys_.stats().core(core_);
+  switch (cause) {
+    case AbortCause::StmLock: ++st.stm_aborts_lock; break;
+    case AbortCause::StmGlock: ++st.stm_aborts_glock; break;
+    default: ++st.stm_aborts_validation; break;
+  }
+  st.cycles_wasted_tx += attempt_cycles_;
+  st.interp_instrs += stm_interp_->instrs_executed();
+  instrs_done_ += stm_interp_->instrs_executed();
+
+  const bool will_glock = stm_attempts_ >= sys_.config().stm.retries;
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kTxAbort,
+                    static_cast<std::uint8_t>(cause), 0, /*aborter=*/0, line});
+  if (auto* p = sys_.prov()) {
+    p->on_abort_finalize(core_, static_cast<std::uint8_t>(cause), line,
+                         /*pc_tag_valid=*/false, /*pc_tag=*/0,
+                         /*first_pc=*/0, sys_.heap().alloc_site_for(line),
+                         sys_.privacy().private_owner(line),
+                         sys_.machine().now(), /*stm_tier=*/true);
+    p->on_attempt_abort(core_, total_attempts(), attempt_cycles_, will_glock,
+                        sys_.machine().now());
+  }
+  // Orec conflicts are real data conflicts: train the advisory-lock policy
+  // across tiers (the CPC map recorded this attempt's ALP visits, so
+  // StaggeredSW resolution works the same as for HTM aborts).
+  if (cause != AbortCause::StmGlock) {
+    htm::AbortInfo info;
+    info.cause = cause;
+    info.conflict_line = line;
+    resolve_and_train(info);
+  }
+  if (will_glock) {
+    state_ = State::kGlockAcquire;
+    return cost;
+  }
+  const sim::Cycle mean = sys_.config().backoff_base * total_attempts();
+  const sim::Cycle delay = sys_.rng(core_).next_below(2 * mean + 1);
+  st.cycles_backoff += delay;
+  st.h_tx_backoff.add(delay);
+  if (auto* t = sys_.trace())
+    t->emit(core_, {sys_.machine().now(), obs::EventKind::kBackoff, 0, 0,
+                    total_attempts(), delay});
+  state_ = State::kStmBeginAttempt;
+  return cost + delay;
 }
 
 }  // namespace st::runtime

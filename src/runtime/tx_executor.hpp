@@ -5,7 +5,14 @@
 //   subscription -> commit
 //     \-> abort -> advisory-lock release -> locking-policy update ->
 //         polite backoff -> retry (up to max_retries)
-//           \-> global-lock acquisition -> irrevocable execution
+//           \-> STM tier (STAGTM_STM=on, src/stm): TL2 attempt ->
+//               orec lock acquisition -> validate/commit, up to
+//               STAGTM_STM_RETRIES attempts
+//             \-> global-lock acquisition -> irrevocable execution
+//
+// With the STM tier off (the default) the middle stage vanishes: retries
+// fall straight to the global lock, byte-identical to builds without
+// src/stm.
 //
 // The executor is a resumable state machine: each step() performs one
 // boundary instruction, one spin/backoff interval, or one fused run of
@@ -62,6 +69,8 @@ class TxExecutor {
   std::uint64_t instrs_retired() const {
     switch (state_) {
       case State::kRunning: return instrs_done_ + spec_interp_->instrs_executed();
+      case State::kStmRunning:
+        return instrs_done_ + stm_interp_->instrs_executed();
       case State::kIrrevRunning:
         return instrs_done_ + plain_interp_->instrs_executed();
       default:
@@ -77,12 +86,17 @@ class TxExecutor {
     kIdle,
     kBeginAttempt,
     kRunning,
+    kStmBeginAttempt,  // STM tier (src/stm): waiting to begin an attempt
+    kStmRunning,       // executing under the TL2 read/write-set protocol
+    kStmLockAcquire,   // locking write-set orecs, one per step
+    kStmCommit,        // validate + write back (single atomic step)
     kGlockAcquire,
     kIrrevRunning,
     kFinished,
   };
 
   class SpecEnv;
+  class StmEnv;
   class PlainEnv;
 
   /// Whether the next step commutes with every synchronizing step another
@@ -105,6 +119,27 @@ class TxExecutor {
   sim::Cycle irrev_step(sim::Cycle budget);
   void resolve_and_train(const htm::AbortInfo& info);
 
+  // ---- STM tier (valid only when sys_.stm() != nullptr) ----
+  sim::Cycle stm_begin_attempt();
+  sim::Cycle stm_run_step(sim::Cycle budget);
+  sim::Cycle stm_lock_step();
+  sim::Cycle stm_commit_step();
+  /// Abort epilogue for the STM tier: guarded orec release, allocation
+  /// rollback, stats/trace/prov/policy bookkeeping, then retry (with
+  /// backoff) or fall to the glock.
+  sim::Cycle stm_abort(htm::AbortCause cause);
+  /// HTM + STM attempts so far for this block (what h_tx_retries, the
+  /// commit log, and backoff scaling count).
+  unsigned total_attempts() const { return attempts_ + stm_attempts_; }
+
+  /// ALPoint protocol shared by the HTM and STM execution environments
+  /// (Fig. 5 firing rule + advisory-lock spin). `check_pending` gates the
+  /// HTM pending-abort observation; STM attempts have no asynchronous
+  /// aborts, so they pass false.
+  interp::ExecEnv::AlpResult do_alpoint(std::uint32_t alp_id,
+                                        sim::Addr data_addr,
+                                        bool check_pending);
+
   static constexpr sim::Cycle kBeginCost = 5;
   static constexpr sim::Cycle kCommitCost = 10;
   // An abort costs a pipeline flush, register-checkpoint restore, and the
@@ -119,8 +154,10 @@ class TxExecutor {
   /// window-local, never what they do.
   bool private_windows_ = false;
   std::unique_ptr<SpecEnv> spec_env_;
+  std::unique_ptr<StmEnv> stm_env_;      // null when the STM tier is off
   std::unique_ptr<PlainEnv> plain_env_;
   std::unique_ptr<interp::Interp> spec_interp_;
+  std::unique_ptr<interp::Interp> stm_interp_;  // null when the tier is off
   std::unique_ptr<interp::Interp> plain_interp_;
 
   State state_ = State::kIdle;
@@ -128,7 +165,14 @@ class TxExecutor {
   const ir::Function* func_ = nullptr;
   std::vector<std::uint64_t> args_;
   stagger::ABContext* ctx_ = nullptr;
-  unsigned attempts_ = 0;
+  unsigned attempts_ = 0;      // HTM attempts this block
+  unsigned stm_attempts_ = 0;  // STM attempts this block
+  /// STM-attempt allocations (rolled back on abort) and deferred frees
+  /// (performed at commit, dropped on abort) — the software mirror of the
+  /// HTM's tx_alloc/tx_free bookkeeping, which only arms inside a hardware
+  /// transaction.
+  std::vector<sim::Addr> stm_allocs_;
+  std::vector<sim::Addr> stm_frees_;
   sim::Cycle attempt_cycles_ = 0;
   sim::Cycle lock_wait_accum_ = 0;  // current ALP acquire sequence
   sim::Addr alp_target_ = 0;        // address being advisory-locked
@@ -143,6 +187,7 @@ class TxExecutor {
   std::uint64_t instrs_done_ = 0;
 
   friend class SpecEnv;
+  friend class StmEnv;
   friend class PlainEnv;
 };
 

@@ -74,6 +74,18 @@ TxSystem::TxSystem(const RuntimeConfig& cfg, stagger::CompiledProgram& prog)
   policy_.set_trace(trace_.get(), [this] { return machine_.now(); });
   cpc_ = std::make_unique<stagger::CpcMap>(*htm_);
   glock_ = heap_.alloc_line_aligned(heap_.setup_arena(), 8);
+  if (cfg_.stm.enabled) {
+    // STM metadata lives after the glock in the setup arena; with the tier
+    // off neither allocation happens, so the heap layout — and therefore
+    // every simulated address and result — is byte-identical to a run
+    // without the tier.
+    const sim::Addr clock_addr =
+        heap_.alloc_line_aligned(heap_.setup_arena(), 8);
+    const sim::Addr orec_base = heap_.alloc_line_aligned(
+        heap_.setup_arena(), std::uint64_t{cfg_.stm.orecs} * 8);
+    stm_ = std::make_unique<stm::StmSystem>(*htm_, cfg_.stm, cfg_.cores,
+                                            clock_addr, orec_base);
+  }
 
   const unsigned num_abs =
       static_cast<unsigned>(prog.module->atomic_blocks().size());

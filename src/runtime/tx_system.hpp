@@ -15,6 +15,7 @@
 #include "stagger/cpc_map.hpp"
 #include "stagger/instrument.hpp"
 #include "stagger/policy.hpp"
+#include "stm/stm.hpp"
 
 namespace st::runtime {
 
@@ -45,6 +46,9 @@ struct CommitRecord {
   std::uint16_t ab_id = 0;
   std::uint16_t attempts = 0;
   bool irrevocable = false;
+  /// Execution tier that committed the block: 0 = HTM, 1 = irrevocable
+  /// global lock (mirrors `irrevocable`), 2 = STM fallback.
+  std::uint8_t tier = 0;
   std::uint64_t result = 0;
   std::vector<std::uint64_t> args;
 };
@@ -54,7 +58,15 @@ struct RuntimeConfig {
   unsigned cores = 16;
   sim::MemConfig mem;  // mem.cores is forced to `cores`
   Scheme scheme = Scheme::kBaseline;
-  unsigned max_retries = 10;       // attempts before irrevocable mode
+  /// HTM attempts before falling back (STM tier if enabled, else the
+  /// irrevocable glock). 0 skips hardware transactions entirely. The
+  /// workload harness defaults this from STAGTM_MAX_RETRIES.
+  unsigned max_retries = 10;
+  /// TL2 STM fallback tier between HTM retries and the glock (src/stm).
+  /// Disabled by default — the executor, heap layout, and every simulated
+  /// result are byte-identical to builds that predate the tier. The
+  /// workload harness fills it from STAGTM_STM{,_RETRIES,_ORECS}.
+  stm::StmConfig stm;
   unsigned num_advisory_locks = 256;
   sim::Cycle lock_timeout = 2'000;
   sim::Cycle backoff_base = 64;    // Polite: mean delay = base * attempt
@@ -121,6 +133,10 @@ class TxSystem {
 
   sim::Addr glock_addr() const { return glock_; }
 
+  /// Null unless cfg.stm.enabled — with the tier off no orec table is
+  /// allocated and no STM code runs (pure-off invariance, CI-enforced).
+  stm::StmSystem* stm() { return stm_.get(); }
+
   /// Null unless cfg.trace.enabled(); every subsystem emits through this.
   obs::TraceSink* trace() { return trace_.get(); }
 
@@ -154,6 +170,7 @@ class TxSystem {
   // abctx_[core * num_abs + ab]
   std::vector<std::unique_ptr<stagger::ABContext>> abctx_;
   sim::Addr glock_ = 0;
+  std::unique_ptr<stm::StmSystem> stm_;  // null when the tier is off
 };
 
 }  // namespace st::runtime

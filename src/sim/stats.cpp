@@ -16,6 +16,12 @@ CoreStats MachineStats::total() const {
     t.aborts_explicit += c.aborts_explicit;
     t.aborts_glock += c.aborts_glock;
     t.irrevocable_entries += c.irrevocable_entries;
+    t.stm_commits += c.stm_commits;
+    t.stm_aborts_validation += c.stm_aborts_validation;
+    t.stm_aborts_lock += c.stm_aborts_lock;
+    t.stm_aborts_glock += c.stm_aborts_glock;
+    t.stm_orec_waits += c.stm_orec_waits;
+    t.stm_lock_acquires += c.stm_lock_acquires;
     t.cycles_useful_tx += c.cycles_useful_tx;
     t.cycles_wasted_tx += c.cycles_wasted_tx;
     t.cycles_lock_wait += c.cycles_lock_wait;
@@ -41,6 +47,7 @@ CoreStats MachineStats::total() const {
     t.h_tx_retries.merge(c.h_tx_retries);
     t.h_lock_hold.merge(c.h_lock_hold);
     t.h_spec_footprint.merge(c.h_spec_footprint);
+    t.h_tx_backoff.merge(c.h_tx_backoff);
   }
   return t;
 }

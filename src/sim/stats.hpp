@@ -24,6 +24,14 @@ struct CoreStats {
   std::uint64_t aborts_glock = 0;  // lazy-subscription aborts
   std::uint64_t irrevocable_entries = 0;
 
+  // STM fallback tier (src/stm). All zero unless STAGTM_STM=on.
+  std::uint64_t stm_commits = 0;            // attempts that committed in STM
+  std::uint64_t stm_aborts_validation = 0;  // orec precheck / revalidation
+  std::uint64_t stm_aborts_lock = 0;        // orec-lock acquisition timed out
+  std::uint64_t stm_aborts_glock = 0;       // glock observed mid-attempt
+  std::uint64_t stm_orec_waits = 0;         // lock-acquire steps that spun
+  std::uint64_t stm_lock_acquires = 0;      // orec write-locks taken
+
   // Cycle breakdown.
   std::uint64_t cycles_useful_tx = 0;    // attempts that committed
   std::uint64_t cycles_wasted_tx = 0;    // attempts that aborted
@@ -74,9 +82,11 @@ struct CoreStats {
   Log2Hist h_tx_retries;       // attempts needed per commit (1 = first try)
   Log2Hist h_lock_hold;        // advisory-lock hold time, cycles
   Log2Hist h_spec_footprint;   // speculative lines at commit
+  Log2Hist h_tx_backoff;       // polite-backoff cycles per backed-off attempt
 
   std::uint64_t total_aborts() const {
-    return aborts_conflict + aborts_capacity + aborts_explicit + aborts_glock;
+    return aborts_conflict + aborts_capacity + aborts_explicit + aborts_glock +
+           stm_aborts_validation + stm_aborts_lock + stm_aborts_glock;
   }
 };
 

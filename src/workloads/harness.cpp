@@ -4,10 +4,16 @@
 #include <cstdio>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/tx_executor.hpp"
 
 namespace st::workloads {
+
+unsigned default_max_retries() {
+  return static_cast<unsigned>(env_u64("STAGTM_MAX_RETRIES", 10, 0, 100000,
+                                       "an integer in [0,100000]"));
+}
 
 namespace {
 
@@ -148,6 +154,7 @@ runtime::RuntimeConfig make_runtime_config(const RunOptions& opt) {
   rt.lock_timeout = opt.lock_timeout;
   rt.max_retries = opt.max_retries;
   rt.history_len = opt.history_len;
+  rt.stm = opt.stm;
   rt.policy = opt.policy;
   rt.policy.addr_only = opt.scheme == runtime::Scheme::kAddrOnly;
   rt.macrostep = opt.macrostep;

@@ -9,9 +9,15 @@
 #include "check/scheduler.hpp"
 #include "interp/jit.hpp"
 #include "obs/prov.hpp"
+#include "stm/stm.hpp"
 #include "workloads/workload.hpp"
 
 namespace st::workloads {
+
+/// STAGTM_MAX_RETRIES default (unset = 10, the paper's setting); exits 2 on
+/// malformed values. Parsed fresh on each call so tests can exercise the
+/// validation.
+unsigned default_max_retries();
 
 struct RunOptions {
   runtime::Scheme scheme = runtime::Scheme::kBaseline;
@@ -21,8 +27,16 @@ struct RunOptions {
   unsigned pc_tag_bits = 12;
   unsigned num_advisory_locks = 256;
   sim::Cycle lock_timeout = 2'000;
-  unsigned max_retries = 10;
+  /// HTM attempts before falling to the next tier (the STM tier when
+  /// STAGTM_STM=on, else the global lock); 0 skips hardware transactions
+  /// entirely. Defaults to the STAGTM_MAX_RETRIES env knob.
+  unsigned max_retries = default_max_retries();
   unsigned history_len = 8;
+  /// TL2 STM fallback tier (src/stm, DESIGN.md §16). Defaults to the
+  /// STAGTM_STM / STAGTM_STM_RETRIES / STAGTM_STM_ORECS env knobs; off by
+  /// default, in which case simulated results are byte-identical to builds
+  /// without the tier.
+  stm::StmConfig stm = stm::StmConfig::from_env();
   bool lazy_htm = false;  // commit-time conflict detection (paper §8)
   /// Host-side interpreter macro-stepping (fused pure-register runs). Never
   /// changes simulated results — exists so differential tests can compare

@@ -15,6 +15,10 @@ struct MiniSystem {
   ir::Module module;
   stagger::CompiledProgram prog;
   std::unique_ptr<runtime::TxSystem> sys;
+  /// Optional runtime overrides, set before boot(): the STM fallback tier
+  /// (off by default, as in production) and the HTM retry budget.
+  stm::StmConfig stm;
+  unsigned max_retries = 10;
 
   /// Compile (after the caller built IR into `module`) and boot a machine.
   void boot(runtime::Scheme scheme = runtime::Scheme::kBaseline,
@@ -25,6 +29,8 @@ struct MiniSystem {
     rt.scheme = scheme;
     rt.seed = seed;
     rt.policy.addr_only = scheme == runtime::Scheme::kAddrOnly;
+    rt.stm = stm;
+    rt.max_retries = max_retries;
     sys = std::make_unique<runtime::TxSystem>(rt, prog);
   }
 

@@ -135,6 +135,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(t.commits),
               static_cast<unsigned long long>(t.irrevocable_entries),
               r.pct_irrevocable());
+  // Printed only when the STM tier is on, so STM-off stdout stays
+  // byte-identical to builds without src/stm (CI-enforced).
+  if (o.stm.enabled)
+    std::printf(
+        "stm        commits %llu, aborts (validation %llu, lock %llu, "
+        "glock %llu), orec-waits %llu\n",
+        static_cast<unsigned long long>(t.stm_commits),
+        static_cast<unsigned long long>(t.stm_aborts_validation),
+        static_cast<unsigned long long>(t.stm_aborts_lock),
+        static_cast<unsigned long long>(t.stm_aborts_glock),
+        static_cast<unsigned long long>(t.stm_orec_waits));
   std::printf(
       "aborts     %llu  (conflict %llu, capacity %llu, glock %llu, "
       "explicit %llu)  Abts/C %.2f\n",

@@ -86,6 +86,7 @@ void print_summary(const ProvData& d) {
   std::printf("  wasted cycles   %10" PRIu64 "\n", total_wasted(d));
   std::uint64_t by_cause[8] = {};
   std::uint64_t self = 0, glock = 0;
+  std::uint64_t stm_tier = 0, stm_wasted = 0, htm_wasted = 0;
   for (const auto& c : d.per_core)
     for (const BlameRecord& r : c.blames) {
       ++by_cause[r.cause & 7];
@@ -93,6 +94,12 @@ void print_summary(const ProvData& d) {
           r.victim_core == r.aggressor_core)
         ++self;  // capacity overflow: the victim is its own aggressor
       if (r.flags & st::obs::kBlameWillGlock) ++glock;
+      if (r.flags & st::obs::kBlameTierStm) {
+        ++stm_tier;
+        stm_wasted += r.wasted_cycles;
+      } else {
+        htm_wasted += r.wasted_cycles;
+      }
     }
   std::printf("  causes         ");
   bool any = false;
@@ -107,6 +114,9 @@ void print_summary(const ProvData& d) {
   std::printf("  self-inflicted  %10" PRIu64
               "   retry-budget-exhausted %" PRIu64 "\n",
               self, glock);
+  std::printf("  by tier: htm %" PRIu64 " (wasted %" PRIu64 "), stm %" PRIu64
+              " (wasted %" PRIu64 ")\n",
+              s.blame_records - stm_tier, htm_wasted, stm_tier, stm_wasted);
   std::printf("  serializations: conflict-avoided %" PRIu64
               ", false %" PRIu64 ", indeterminate %" PRIu64 "\n",
               s.conflict_avoided, s.false_serialization, s.indeterminate);

@@ -133,6 +133,8 @@ int main(int argc, char** argv) {
   std::map<std::uint32_t, LockRow> locks;
   std::uint64_t decisions[8] = {};
   std::uint64_t total_commits = 0, total_aborts = 0, irrevocable = 0;
+  std::uint64_t stm_commits = 0;
+  std::uint64_t train_htm = 0, train_stm = 0;
   std::uint64_t alp_fired = 0, backoffs = 0;
   std::map<unsigned, std::uint64_t> arena_escapes;  // owner core -> lines
   std::vector<Escape> escapes;
@@ -142,11 +144,17 @@ int main(int argc, char** argv) {
       switch (e.kind) {
         case EventKind::kTxBegin: ++begins; break;
         case EventKind::kTxCommit:
+          // arg8 = execution tier: 0 HTM, 1 irrevocable (glock), 2 STM.
           ++commits;
-          if (e.arg8 != 0) ++irrevocable;
+          if (e.arg8 == 1) ++irrevocable;
+          if (e.arg8 == 2) ++stm_commits;
           break;
         case EventKind::kTxAbort: {
           ++aborts;
+          // Policy-training tier split: the locking policy trains on HTM
+          // conflict aborts (cause 1) and STM orec conflicts (causes 5-6).
+          if ((e.arg8 & 7) == 1) ++train_htm;
+          if ((e.arg8 & 7) == 5 || (e.arg8 & 7) == 6) ++train_stm;
           AbortCell& cell = heat[{e.a64, e.pc_tag}];
           ++cell.count;
           ++cell.by_cause[e.arg8 & 7];
@@ -202,11 +210,12 @@ int main(int argc, char** argv) {
                 aborts, lockev);
   }
   std::printf("  total emitted %" PRIu64 ", dropped %" PRIu64
-              " | commits %" PRIu64 " (irrevocable %" PRIu64
-              "), aborts %" PRIu64 ", ALPs %" PRIu64 ", backoffs %" PRIu64
-              "\n",
-              all_emitted, all_dropped, total_commits, irrevocable,
-              total_aborts, alp_fired, backoffs);
+              " | commits %" PRIu64 " (htm %" PRIu64 ", stm %" PRIu64
+              ", glock %" PRIu64 "), aborts %" PRIu64 ", ALPs %" PRIu64
+              ", backoffs %" PRIu64 "\n",
+              all_emitted, all_dropped, total_commits,
+              total_commits - irrevocable - stm_commits, stm_commits,
+              irrevocable, total_aborts, alp_fired, backoffs);
   if (all_dropped != 0)
     std::printf("  note: rings wrapped; counts below cover surviving (newest)"
                 " events only — raise STAGTM_TRACE_CAP for full coverage\n");
@@ -225,15 +234,23 @@ int main(int argc, char** argv) {
       return a.first < b.first;  // deterministic tie-break
     });
     if (prof_path != nullptr)
-      std::printf("  %-18s %-7s %8s %-12s %s\n", "line", "pc_tag", "aborts",
-                  "alloc_site", "causes");
+      std::printf("  %-18s %-7s %8s %-5s %-12s %s\n", "line", "pc_tag",
+                  "aborts", "tier", "alloc_site", "causes");
     else
-      std::printf("  %-18s %-7s %8s  %s\n", "line", "pc_tag", "aborts",
-                  "causes");
+      std::printf("  %-18s %-7s %8s %-5s %s\n", "line", "pc_tag", "aborts",
+                  "tier", "causes");
     if (rows.size() > top) rows.resize(top);
     for (const auto& [key, cell] : rows) {
-      std::printf("  0x%-16" PRIx64 " 0x%-5x %8" PRIu64 " ", key.first,
-                  key.second, cell.count);
+      // Execution tier, recovered exactly from the cause namespace: causes
+      // 5..7 are raised only by the STM tier, 1..4 only by hardware
+      // transactions (glock-serialized executions never abort).
+      std::uint64_t stm_ab = 0;
+      for (unsigned cz = 5; cz < 8; ++cz) stm_ab += cell.by_cause[cz];
+      const char* tier = stm_ab == 0 ? "htm"
+                         : stm_ab == cell.count ? "stm"
+                                                : "both";
+      std::printf("  0x%-16" PRIx64 " 0x%-5x %8" PRIu64 " %-5s ", key.first,
+                  key.second, cell.count, tier);
       if (prof_path != nullptr) {
         char site[16];
         if (!cell.site_known)
@@ -243,8 +260,6 @@ int main(int argc, char** argv) {
         else
           std::snprintf(site, sizeof site, "0x%x", cell.alloc_site);
         std::printf("%-12s ", site);
-      } else {
-        std::printf(" ");
       }
       bool first = true;
       for (unsigned cz = 0; cz < 8; ++cz) {
@@ -296,6 +311,10 @@ int main(int argc, char** argv) {
     any = true;
   }
   if (!any) std::printf("  (none — run a Staggered/AddrOnly scheme)\n");
+  if (any)
+    std::printf("  training aborts by tier: htm %" PRIu64 " (conflict), stm %"
+                PRIu64 " (stm_validation + stm_lock)\n",
+                train_htm, train_stm);
 
   // ---- privacy report -----------------------------------------------------
   // Each line escapes at most once (privacy is irrevocable), so the event
